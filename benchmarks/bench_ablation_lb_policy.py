@@ -1,0 +1,77 @@
+"""Ablation — scheme-3 stopping policy: passes vs achieved balance.
+
+The paper: "One advantage of scheme 3 is its flexibility in making a
+compromise between the cost and accuracy of the final load-balance" —
+pairwise exchanges only fire above a tolerance, and iteration stops once
+the imbalance is acceptable.  This bench maps that trade-off on a
+realistic load distribution.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.physics_lb import PairwiseExchangeBalancer, imbalance
+from repro.util.tables import Table
+
+
+def make_loads(nranks: int = 64, seed: int = 9) -> np.ndarray:
+    """A day/night + convection-like load distribution (paper-band ~45%)."""
+    rng = np.random.default_rng(seed)
+    base = np.ones(nranks)
+    day = np.zeros(nranks)
+    day[: nranks // 2] = 0.55  # daylight hemisphere
+    conv = 0.7 * rng.random(nranks) ** 3  # patchy convection
+    return base + day + conv
+
+
+def sweep():
+    loads = make_loads()
+    table = Table(
+        f"Ablation — pairwise-exchange policy on {loads.size} ranks "
+        f"(initial imbalance {imbalance(loads) * 100:.0f}%)",
+        ["max passes", "tolerance", "passes used", "final imbalance",
+         "units moved"],
+    )
+    data = {}
+    for max_passes in (1, 2, 3, 5):
+        balancer = PairwiseExchangeBalancer(max_passes=max_passes)
+        res = balancer.balance(loads)
+        table.add_row(
+            max_passes, "-", res.passes,
+            f"{res.imbalance_after * 100:.1f}%", f"{res.total_moved:.2f}",
+        )
+        data[("passes", max_passes)] = res
+    for tol in (0.20, 0.10, 0.02):
+        balancer = PairwiseExchangeBalancer(
+            max_passes=10, imbalance_tolerance=tol
+        )
+        res = balancer.balance(loads)
+        table.add_row(
+            10, f"{tol:.2f}", res.passes,
+            f"{res.imbalance_after * 100:.1f}%", f"{res.total_moved:.2f}",
+        )
+        data[("tol", tol)] = res
+    return table, data
+
+
+def test_lb_policy_tradeoff(benchmark, results_dir):
+    table, data = run_once(benchmark, sweep)
+    (results_dir / "ablation_lb_policy.txt").write_text(table.render() + "\n")
+    print("\n" + table.render())
+
+    # More passes monotonically improve balance at monotonically higher
+    # data movement (the paper's compromise knob).
+    imb = [data[("passes", p)].imbalance_after for p in (1, 2, 3, 5)]
+    moved = [data[("passes", p)].total_moved for p in (1, 2, 3, 5)]
+    assert all(b <= a + 1e-12 for a, b in zip(imb, imb[1:]))
+    assert all(b >= a - 1e-12 for a, b in zip(moved, moved[1:]))
+
+    # Two passes already reach the paper's single-digit band.
+    assert data[("passes", 2)].imbalance_after < 0.10
+
+    # The tolerance stop trades residual imbalance for fewer passes.
+    assert data[("tol", 0.20)].passes <= data[("tol", 0.02)].passes
+    assert (
+        data[("tol", 0.20)].imbalance_after
+        >= data[("tol", 0.02)].imbalance_after
+    )

@@ -1,0 +1,28 @@
+"""Figure 1 — execution-time fractions of the major AGCM components.
+
+Paper: with the original filtering, Dynamics is 72% of the main body on
+16 nodes and 86% on 240; the spectral filter is 36% of Dynamics on 16
+nodes and 49% on 240 — i.e. both fractions *grow* with node count, which
+is the scalability indictment the whole paper acts on.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import run_fig1
+
+
+def test_fig1_component_fractions(benchmark, archive):
+    result = run_once(benchmark, run_fig1)
+    print("\n" + archive(result))
+
+    small = result.data[16]
+    large = result.data[240]
+
+    # Dynamics dominates the main body and its share grows with nodes.
+    assert small["dynamics_fraction"] > 0.5
+    assert large["dynamics_fraction"] > small["dynamics_fraction"]
+
+    # Filtering is a large, *growing* share of Dynamics (paper: 36% -> 49%).
+    assert small["filtering_fraction"] > 0.2
+    assert large["filtering_fraction"] > small["filtering_fraction"]
+    assert large["filtering_fraction"] > 0.35

@@ -1,0 +1,36 @@
+"""Figures 2-3 — row redistribution and transpose for balanced filtering.
+
+Paper: given M x N processors and L variables with R_j filtered rows,
+redistribute so each processor holds ~ceil(sum R_j / n) rows (eq. 3),
+then transpose within processor rows so whole lines can be FFT'd locally.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import run_fig2_3
+
+
+def test_fig2_3_row_redistribution(benchmark, archive):
+    result = run_once(benchmark, run_fig2_3, mesh_dims=(4, 8))
+    print("\n" + archive(result))
+
+    nat = result.data["natural_lines"]
+    bal = result.data["balanced_lines"]
+
+    # eq. (3): balanced within one unit everywhere; nobody idle.
+    assert bal.max() - bal.min() <= 1
+    assert (bal == 0).sum() == 0
+    # The natural distribution leaves low-latitude ranks idle.
+    assert (nat == 0).sum() > 0
+    assert nat.max() > bal.max()
+    # Conservation: redistribution moves rows, never creates them.
+    assert nat.sum() == bal.sum() == result.data["total_units"]
+
+
+def test_fig2_paper_production_mesh(benchmark, archive):
+    """Same invariants on the paper's 8 x 30 production mesh."""
+    result = run_once(benchmark, run_fig2_3, mesh_dims=(8, 30))
+    archive(result)
+    bal = result.data["balanced_lines"]
+    assert bal.max() - bal.min() <= 1
+    assert result.data["rows_moved"] > 0

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module regenerates one (or one family) of the paper's
+tables/figures, asserts its shape claims, and archives the rendered
+paper-style table under ``benchmarks/results/`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Save an ExperimentResult's rendering to results/<ident>.txt."""
+
+    def _save(result) -> str:
+        text = result.render()
+        (results_dir / f"{result.ident}.txt").write_text(text + "\n")
+        return text
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

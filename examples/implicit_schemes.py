@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Implicit time differencing: the solver components of the paper's §5.
+
+Three demonstrations of the "fast (parallel) linear system solvers for
+implicit time-differencing schemes" the paper lists as reusable GCM
+components:
+
+1. **Batched tridiagonal solves** — implicit vertical diffusion of a
+   spiky column profile at a time step far above the explicit bound
+   (communication-free under the 2-D decomposition).
+2. **Parallel Helmholtz CG** — implicit horizontal diffusion solved by
+   conjugate gradient on the virtual machine, identical iteration counts
+   on every mesh.
+3. **Semi-implicit gravity waves** — the Robert scheme steps the
+   shallow-water system at 10x the polar CFL bound with *no polar
+   filter*, while explicit leapfrog blows up within a few steps: the
+   "other road" around the problem the paper's filter optimisation
+   attacks.
+
+Run:  python examples/implicit_schemes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Decomposition2D, ProcessorMesh, Simulator, SphericalGrid
+from repro.dynamics.geometry import LocalGeometry
+from repro.dynamics.implicit import (
+    implicit_horizontal_diffusion,
+    implicit_horizontal_diffusion_parallel,
+    implicit_vertical_diffusion,
+)
+from repro.dynamics.semi_implicit import SemiImplicitShallowWater
+from repro.parallel import T3D
+
+
+def demo_vertical() -> None:
+    print("1. Implicit vertical diffusion (batched Thomas solves)")
+    field = np.zeros((4, 6, 12))
+    field[..., 6] = 10.0  # a spike in every column
+    dt, kappa, dz = 3.0e4, 40.0, 500.0
+    explicit_limit = dz**2 / (4 * kappa)
+    out = implicit_vertical_diffusion(field, dt, kappa, dz)
+    print(f"   dt = {dt:.0f}s = {dt / explicit_limit:.0f}x the explicit "
+          f"stability limit ({explicit_limit:.0f}s)")
+    print(f"   spike 10.0 -> {out[0, 0, 6]:.2f}; column integral drift "
+          f"{abs(out[0, 0].sum() - field[0, 0].sum()):.1e}\n")
+
+
+def demo_helmholtz() -> None:
+    print("2. Parallel Helmholtz CG (implicit horizontal diffusion)")
+    grid = SphericalGrid(16, 24)
+    geom = LocalGeometry.from_grid(grid)
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal((16, 24, 1))
+    dt, kappa = 5e3, 1e5
+    serial = implicit_horizontal_diffusion(field, geom, dt, kappa)
+    print(f"   serial: converged in {serial.iterations} CG iterations")
+    for dims in ((2, 2), (4, 4)):
+        mesh = ProcessorMesh(*dims)
+        decomp = Decomposition2D(grid.nlat, grid.nlon, mesh)
+
+        def program(ctx):
+            sub = decomp.subdomain(ctx.rank)
+            g = LocalGeometry.from_grid(grid, sub.lat0, sub.lat1)
+            local = decomp.scatter(field)[ctx.rank]
+            result = yield from implicit_horizontal_diffusion_parallel(
+                ctx, decomp, g, local, dt, kappa
+            )
+            return result
+
+        res = Simulator(mesh.size, T3D).run(program)
+        gathered = decomp.gather([res.returns[r].x for r in range(mesh.size)])
+        err = np.abs(gathered - serial.x).max()
+        print(
+            f"   {mesh.describe()} mesh: {res.returns[0].iterations} "
+            f"iterations, {res.trace.total_messages()} messages, "
+            f"max |parallel - serial| = {err:.1e}, "
+            f"{res.elapsed * 1e3:.1f} virtual ms"
+        )
+    print()
+
+
+def demo_semi_implicit() -> None:
+    print("3. Semi-implicit gravity waves (no polar filter needed)")
+    grid = SphericalGrid(24, 36)
+    probe = SemiImplicitShallowWater(grid, dt=1.0)
+    cfl = probe.explicit_cfl_dt()
+    dt = 10 * cfl
+    si = SemiImplicitShallowWater(grid, dt=dt)
+    final, energies = si.run(60)
+    print(f"   polar explicit CFL bound: {cfl:.0f}s; stepping at {dt:.0f}s")
+    print(f"   semi-implicit: 60 steps, energy {energies[0]:.0f} -> "
+          f"{energies[-1]:.0f} (finite, bounded); "
+          f"~{si.last_cg_iterations} CG iterations/step")
+
+    state = si.initial_state()
+    prev, now = {k: v.copy() for k, v in state.items()}, state
+    for step in range(60):
+        nxt = si.explicit_step(prev, now)
+        prev, now = now, nxt
+        if not np.isfinite(now["phi"]).all() or np.abs(now["phi"]).max() > 1e8:
+            print(f"   explicit leapfrog at the same dt: blows up at step "
+                  f"{step + 1}")
+            break
+    print(
+        "\n   This is the trade the 1996 authors faced: keep explicit\n"
+        "   stepping + polar filtering (their choice, optimised in the\n"
+        "   paper), or pay a global elliptic solve per step.  Both roads\n"
+        "   are now implemented and measurable in this package."
+    )
+
+
+def main() -> None:
+    demo_vertical()
+    demo_helmholtz()
+    demo_semi_implicit()
+
+
+if __name__ == "__main__":
+    main()

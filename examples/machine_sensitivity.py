@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Machine-parameter ablations: what the conclusions depend on.
+
+The paper's results are tied to mid-90s machine balance points.  This
+example sweeps the machine model around the Paragon preset with the fast
+analytic cost model and asks:
+
+* how does the filtering-strategy ranking move with network latency?
+* when does the load-balanced FFT stop paying (very fast networks)?
+* how does the T3D/Paragon total-time ratio decompose?
+
+Run:  python examples/machine_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro import make_config
+from repro.model.analytic import estimate_costs
+from repro.parallel import PARAGON, T3D, ProcessorMesh
+from repro.util.tables import Table
+
+MESH = ProcessorMesh(8, 8)
+
+
+def latency_sweep() -> None:
+    cfg = make_config("2x2.5x9")
+    table = Table(
+        f"Filtering s/day vs network latency ({MESH.describe()} mesh, "
+        "Paragon base)",
+        ["latency [us]", "convolution", "fft", "fft-lb", "LB still wins?"],
+    )
+    for factor in (0.1, 1.0, 10.0, 100.0):
+        machine = PARAGON.with_overrides(
+            latency=PARAGON.latency * factor,
+            overhead=min(PARAGON.overhead * factor, PARAGON.latency * factor),
+        )
+        costs = {
+            b: estimate_costs(cfg.with_(filter_backend=b), MESH, machine)
+            .filtering
+            for b in ("convolution-ring", "fft", "fft-lb")
+        }
+        table.add_row(
+            f"{machine.latency * 1e6:.0f}",
+            costs["convolution-ring"],
+            costs["fft"],
+            costs["fft-lb"],
+            "yes" if costs["fft-lb"] < costs["fft"] else "no",
+        )
+    print(table.render())
+    print(
+        "High latency penalises the transpose's extra messages; the paper's\n"
+        "choice of the transpose variant assumed 1990s latencies where the\n"
+        "FFT compute savings dominate.\n"
+    )
+
+
+def flop_rate_sweep() -> None:
+    cfg = make_config("2x2.5x9")
+    table = Table(
+        "Total s/day vs node speed (8 x 8 mesh, Paragon network)",
+        ["flop rate [Mflop/s]", "dynamics", "physics", "total",
+         "comm-bound?"],
+    )
+    for rate in (3e6, 6e6, 15e6, 60e6, 600e6):
+        machine = PARAGON.with_overrides(flop_rate=rate)
+        est = estimate_costs(cfg, MESH, machine)
+        comm_bound = est.halo + est.filtering > est.fd
+        table.add_row(
+            f"{rate / 1e6:.0f}",
+            est.dynamics,
+            est.physics,
+            est.total,
+            "yes" if comm_bound else "no",
+        )
+    print(table.render())
+    print(
+        "Faster nodes push the code toward communication-bound, where the\n"
+        "paper's algorithmic message-count arguments matter even more.\n"
+    )
+
+
+def machine_ratio() -> None:
+    cfg = make_config("2x2.5x9")
+    table = Table(
+        "Paragon vs T3D decomposition (8 x 8 mesh, s/day)",
+        ["component", "paragon", "t3d", "ratio"],
+    )
+    p = estimate_costs(cfg, MESH, PARAGON)
+    t = estimate_costs(cfg, MESH, T3D)
+    for name in ("fd", "halo", "filtering", "physics", "total"):
+        pv, tv = getattr(p, name), getattr(t, name)
+        table.add_row(name, pv, tv, f"{pv / tv:.1f}x")
+    print(table.render())
+    print(
+        "\nThe ~2.5x overall gap the paper reports is almost entirely the\n"
+        "sustained flop-rate ratio; the T3D's faster network widens it\n"
+        "slightly on the communication components."
+    )
+
+
+def main() -> None:
+    latency_sweep()
+    flop_rate_sweep()
+    machine_ratio()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table8               # regenerate one artefact
+    python -m repro fig4_6 tables1_3     # several at once
+    python -m repro all                  # everything (minutes)
+    python -m repro report [PATH]        # full markdown report (minutes)
+    python -m repro report --quick       # fast subset, printed to stdout
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.reporting.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        print("Experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    if args[0] == "list":
+        for ident, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{ident:15s} {doc}")
+        return 0
+    if args[0] == "report":
+        from repro.reporting.report import generate_report, write_report
+
+        rest = args[1:]
+        quick = "--quick" in rest
+        paths = [a for a in rest if not a.startswith("-")]
+        if paths:
+            out = write_report(paths[0], quick=quick)
+            print(f"report written to {out}")
+        else:
+            print(generate_report(quick=quick))
+        return 0
+    idents = sorted(EXPERIMENTS) if args == ["all"] else args
+    for ident in idents:
+        if ident not in EXPERIMENTS:
+            print(f"unknown experiment {ident!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        start = time.time()
+        result = run_experiment(ident)
+        print(result.render())
+        print(f"[{ident} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,530 @@
+"""Parallel polar-filter drivers: the four configurations the paper times.
+
+Tables 8-11 compare three filtering implementations (plus the implicit
+serial case):
+
+* ``convolution-ring``  — the original eq.-2 convolution with full lines
+  assembled by a ring allgather around each processor row;
+* ``convolution-tree``  — the eq.-2 convolution with lines gathered to a
+  row leader through a binomial ("binary") tree and segments scattered
+  back;
+* ``fft``               — transpose-based FFT filtering *without* load
+  balancing (:func:`~repro.core.balance_plan.natural_assignment`): whole
+  lines are assembled by an all-to-all within each processor row, but
+  only the high-latitude rows have any lines;
+* ``fft-lb``            — the paper's contribution: the same transpose
+  FFT behind the generic row-redistribution balancer
+  (:func:`~repro.core.balance_plan.balanced_assignment`), so every rank
+  FFTs ~``sum_j R_j / P`` lines.
+
+Every driver is a generator to be run inside a rank program.  They move
+*real* array data (results are asserted identical to the serial filters in
+the test suite) and charge the machine model for every message and flop,
+so the virtual timings reproduce the paper's comparisons structurally.
+
+Wire format: a group of row-unit segments is concatenated along the layer
+axis into one ``(nlon_segment, sum_of_layers)`` array — variables with
+different layer counts (``ps`` has one, the 3-D fields have K) pack into
+a single message, and both endpoints derive the split offsets from the
+globally known plan.  All filtered fields must be 3-D
+``(nlat, nlon, nlayers)`` arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.balance_plan import (
+    FilterAssignment,
+    balanced_assignment,
+    natural_assignment,
+)
+from repro.core.convolution import (
+    circulant_matrix,
+    convolution_filter_rows,
+    convolution_flop_count,
+)
+from repro.core.fft import fft_filter_line, fft_filter_rows, fft_filter_flop_count
+from repro.core.masks import FilterPlan
+from repro.grid.decomposition import Decomposition2D
+from repro.parallel import collectives as coll
+from repro.parallel.comm import VirtualComm
+
+#: Recognised backend names, in the order the paper's tables list them.
+FILTER_BACKENDS = ("convolution-ring", "convolution-tree", "fft", "fft-lb")
+
+#: FILTER_BACKENDS plus the distributed 1-D FFT — the alternative the
+#: paper rejected in Section 3.2.  It requires power-of-two line lengths
+#: and ranks per row, so it is not part of the default set.
+EXTENDED_BACKENDS = FILTER_BACKENDS + ("fft-distributed",)
+
+_TAG_STAGE_A = 0x00BB0001
+_TAG_STAGE_A_BACK = 0x00BB0002
+
+
+@dataclass
+class FilterBackend:
+    """A prepared filtering configuration for one decomposition.
+
+    Built once at setup (mirroring the paper's one-time set-up step) and
+    reused every time step.
+    """
+
+    name: str
+    plan: FilterPlan
+    decomp: Decomposition2D
+    assignment: Optional[FilterAssignment]  # None for convolution backends
+
+    def apply(self, ctx: VirtualComm, local_fields: Dict[str, np.ndarray]):
+        """Generator: filter the local fields in place on this rank."""
+        if self.name == "convolution-ring":
+            yield from filter_convolution_ring(
+                ctx, self.decomp, self.plan, local_fields
+            )
+        elif self.name == "convolution-tree":
+            yield from filter_convolution_tree(
+                ctx, self.decomp, self.plan, local_fields
+            )
+        elif self.name in ("fft", "fft-lb"):
+            yield from filter_fft_transpose(
+                ctx, self.decomp, self.plan, self.assignment, local_fields
+            )
+        elif self.name == "fft-distributed":
+            yield from filter_fft_distributed(
+                ctx, self.decomp, self.plan, local_fields
+            )
+        else:  # pragma: no cover - prepare_filter_backend validates
+            raise ValueError(f"unknown backend {self.name!r}")
+
+
+def prepare_filter_backend(
+    name: str, plan: FilterPlan, decomp: Decomposition2D
+) -> FilterBackend:
+    """Build the per-run setup state for a named filter backend."""
+    if name not in EXTENDED_BACKENDS:
+        raise ValueError(
+            f"unknown filter backend {name!r}; choose from {EXTENDED_BACKENDS}"
+        )
+    if name == "fft-distributed":
+        from repro.core.distributed_fft import check_distributed_fft_shape
+
+        check_distributed_fft_shape(decomp.nlon, decomp.mesh.nlon_procs)
+    assignment: Optional[FilterAssignment] = None
+    if name == "fft":
+        assignment = natural_assignment(plan, decomp)
+    elif name == "fft-lb":
+        assignment = balanced_assignment(plan, decomp)
+    return FilterBackend(name=name, plan=plan, decomp=decomp, assignment=assignment)
+
+
+def apply_serial_filter(
+    plan: FilterPlan, fields: Dict[str, np.ndarray], method: str = "fft"
+) -> None:
+    """Serial reference: filter global fields in place.
+
+    ``method`` is ``"fft"`` or ``"convolution"``; both must (and, by the
+    convolution theorem, do) give identical results — asserted in tests.
+    """
+    for var in plan.strong_vars:
+        if var in fields:
+            if method == "fft":
+                fields[var][...] = fft_filter_rows(fields[var], plan.strong)
+            else:
+                fields[var][...] = convolution_filter_rows(fields[var], plan.strong)
+    for var in plan.weak_vars:
+        if var in fields:
+            if method == "fft":
+                fields[var][...] = fft_filter_rows(fields[var], plan.weak)
+            else:
+                fields[var][...] = convolution_filter_rows(fields[var], plan.weak)
+
+
+# ----------------------------------------------------------------------
+# packing helpers: unit segments <-> wire arrays
+# ----------------------------------------------------------------------
+
+def _layers_of(local_fields: Dict[str, np.ndarray]) -> Dict[str, int]:
+    """Layer count of each filtered variable (identical on every rank)."""
+    out = {}
+    for name, arr in local_fields.items():
+        if arr.ndim != 3:
+            raise ValueError(
+                f"filtered field {name!r} must be 3-D (nlat, nlon, K); "
+                f"got shape {arr.shape}"
+            )
+        out[name] = arr.shape[2]
+    return out
+
+
+def _segment(
+    local_fields: Dict[str, np.ndarray], plan: FilterPlan, unit: int, lat0: int
+) -> np.ndarray:
+    """This rank's longitude segment of a row unit — (nlon_loc, K_var)."""
+    u = plan.units[unit]
+    return local_fields[u.var][u.lat - lat0]
+
+
+def _store_segment(
+    local_fields: Dict[str, np.ndarray],
+    plan: FilterPlan,
+    unit: int,
+    lat0: int,
+    segment: np.ndarray,
+) -> None:
+    """Write a filtered segment back into the local field row."""
+    u = plan.units[unit]
+    local_fields[u.var][u.lat - lat0] = segment
+
+
+def _pack_units(
+    local_fields: Dict[str, np.ndarray],
+    plan: FilterPlan,
+    units: Sequence[int],
+    lat0: int,
+    nlon_loc: int,
+) -> np.ndarray:
+    """Concatenate unit segments along the layer axis: (nlon_loc, sum K)."""
+    if not units:
+        return np.empty((nlon_loc, 0))
+    return np.ascontiguousarray(
+        np.concatenate(
+            [_segment(local_fields, plan, u, lat0) for u in units], axis=1
+        )
+    )
+
+
+def _unit_offsets(
+    plan: FilterPlan, units: Sequence[int], layers: Dict[str, int]
+) -> List[int]:
+    """Cumulative layer offsets of each unit inside a packed array."""
+    offs = [0]
+    for u in units:
+        offs.append(offs[-1] + layers[plan.units[u].var])
+    return offs
+
+
+def _split_units(
+    packed: np.ndarray,
+    plan: FilterPlan,
+    units: Sequence[int],
+    layers: Dict[str, int],
+) -> List[np.ndarray]:
+    """Invert :func:`_pack_units`: views per unit, (nlon, K_var) each."""
+    offs = _unit_offsets(plan, units, layers)
+    return [packed[:, offs[i] : offs[i + 1]] for i in range(len(units))]
+
+
+def _unit_transfer(plan: FilterPlan, unit: int) -> np.ndarray:
+    """The rfft transfer factors for a unit's (filter, latitude)."""
+    u = plan.units[unit]
+    return plan.filter_for(u).transfer(u.lat)
+
+
+def _total_layers(
+    plan: FilterPlan, units: Sequence[int], layers: Dict[str, int]
+) -> int:
+    """Total packed layer count of a unit list."""
+    return sum(layers[plan.units[u].var] for u in units)
+
+
+def _convolution_segment_flops(
+    plan: FilterPlan,
+    units: Sequence[int],
+    layers: Dict[str, int],
+    out_points: int,
+) -> float:
+    """Eq.-2 wavenumber-sum cost of convolving ``out_points`` per line.
+
+    ``4 * out_points * M_s`` flops per layer of each unit, where ``M_s``
+    is the number of damped wavenumbers at the unit's latitude (sine and
+    cosine contributions, one multiply + one add each).
+    """
+    total = 0.0
+    for u in units:
+        ru = plan.units[u]
+        m = plan.filter_for(ru).damped_bin_count(ru.lat)
+        total += 4.0 * out_points * m * layers[ru.var]
+    return total
+
+
+# ----------------------------------------------------------------------
+# convolution backends (the original code's algorithms)
+# ----------------------------------------------------------------------
+
+def filter_convolution_ring(
+    ctx: VirtualComm,
+    decomp: Decomposition2D,
+    plan: FilterPlan,
+    local_fields: Dict[str, np.ndarray],
+):
+    """Eq.-2 convolution with ring allgather of line segments.
+
+    Within each processor row, all ranks allgather their segments of every
+    filtered line owned by the row (``N_procs - 1`` ring rounds, the
+    paper's "communications around processor rings in the longitudinal
+    direction" with no partial summation), then each rank convolves the
+    full lines to produce *its own* longitude segment of the output.
+    """
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    i_row, _ = mesh.coords_of(ctx.rank)
+    my_units = [
+        u for u, ru in enumerate(plan.units) if sub.lat0 <= ru.lat < sub.lat1
+    ]
+    if not my_units:
+        # Idle during filtering: the load imbalance the paper measures.
+        return
+    layers = _layers_of(local_fields)
+    row_group = ctx.group(mesh.row_ranks(i_row))
+
+    packed = _pack_units(local_fields, plan, my_units, sub.lat0, sub.nlon)
+    gathered = yield from row_group.allgather(packed)
+    lines = np.concatenate(gathered, axis=0)  # (nlon, sum K)
+
+    nlon = decomp.nlon
+    # Charge the AGCM's wavenumber-sum form of eq. (2): each output point
+    # of a line sums over the M_s damped wavenumbers of that latitude
+    # (sine and cosine components), and this rank only computes its own
+    # longitude segment of each line.
+    # The ring variant computes only its own (short) longitude segment of
+    # each output line, so its inner loops suffer the vector-startup
+    # penalty on small blocks — one of the reasons the original filter
+    # scales poorly.
+    yield from ctx.compute(
+        flops=_convolution_segment_flops(plan, my_units, layers, sub.nlon),
+        mem_bytes=2.0 * lines.nbytes,
+        inner_length=sub.nlon,
+    )
+    lon_sel = np.arange(sub.lon0, sub.lon1)
+    per_unit = _split_units(lines, plan, my_units, layers)
+    for u, line in zip(my_units, per_unit):
+        kernel = plan.filter_for(plan.units[u]).kernel(plan.units[u].lat)
+        rows = circulant_matrix(kernel)[lon_sel]  # (nlon_loc, nlon)
+        _store_segment(local_fields, plan, u, sub.lat0, rows @ line)
+
+
+def filter_convolution_tree(
+    ctx: VirtualComm,
+    decomp: Decomposition2D,
+    plan: FilterPlan,
+    local_fields: Dict[str, np.ndarray],
+):
+    """Eq.-2 convolution with binomial-tree gather to a row leader.
+
+    Segments funnel up a binary tree to column 0 of each processor row
+    (``O(2P)`` messages, ``O(NP + N log P)`` volume), the leader convolves
+    whole lines, and filtered segments are scattered straight back.
+    """
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    i_row, _ = mesh.coords_of(ctx.rank)
+    my_units = [
+        u for u, ru in enumerate(plan.units) if sub.lat0 <= ru.lat < sub.lat1
+    ]
+    if not my_units:
+        return
+    layers = _layers_of(local_fields)
+    row_group = ctx.group(mesh.row_ranks(i_row))
+
+    packed = _pack_units(local_fields, plan, my_units, sub.lat0, sub.nlon)
+    gathered = yield from coll.gather_binomial(row_group, packed, root=0)
+
+    if row_group.rank == 0:
+        lines = np.concatenate(gathered, axis=0)  # (nlon, sum K)
+        nlon = decomp.nlon
+        yield from ctx.compute(
+            flops=_convolution_segment_flops(plan, my_units, layers, nlon),
+            mem_bytes=2.0 * lines.nbytes,
+            inner_length=nlon,
+        )
+        filtered = np.empty_like(lines)
+        per_unit_in = _split_units(lines, plan, my_units, layers)
+        per_unit_out = _split_units(filtered, plan, my_units, layers)
+        for u, line, out in zip(my_units, per_unit_in, per_unit_out):
+            kernel = plan.filter_for(plan.units[u]).kernel(plan.units[u].lat)
+            out[...] = circulant_matrix(kernel) @ line
+        pieces = []
+        for col in range(mesh.nlon_procs):
+            lo, hi = decomp.lon_bounds_of_proc_col(col)
+            pieces.append(np.ascontiguousarray(filtered[lo:hi]))
+        mine = yield from row_group.scatter(pieces, root=0)
+    else:
+        mine = yield from row_group.scatter(None, root=0)
+
+    for u, seg in zip(my_units, _split_units(mine, plan, my_units, layers)):
+        _store_segment(local_fields, plan, u, sub.lat0, seg)
+
+
+# ----------------------------------------------------------------------
+# transpose-based FFT backends (the paper's optimisation)
+# ----------------------------------------------------------------------
+
+def filter_fft_transpose(
+    ctx: VirtualComm,
+    decomp: Decomposition2D,
+    plan: FilterPlan,
+    assignment: FilterAssignment,
+    local_fields: Dict[str, np.ndarray],
+):
+    """Transpose-based FFT filtering, optionally load balanced.
+
+    Stage A ships row-unit segments from owning to target processor rows
+    (identity when ``assignment`` is natural); stage B transposes within
+    each processor row so complete lines land on their owning column;
+    local FFTs filter the lines; the inverse movements restore the
+    original layout (paper Figures 2-3 and Section 3.2).
+    """
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    i_row, j_col = mesh.coords_of(ctx.rank)
+    layers = _layers_of(local_fields)
+
+    # ---------- stage A: latitudinal redistribution --------------------
+    seg_store: Dict[int, np.ndarray] = {}
+    for u in assignment.units_assigned_to_row(i_row):
+        if assignment.owner_row[u] == i_row:
+            seg_store[u] = _segment(local_fields, plan, u, sub.lat0)
+
+    moves = assignment.stage_a_moves()
+    for src, dst, units in moves:
+        if src == i_row:
+            payload = _pack_units(local_fields, plan, units, sub.lat0, sub.nlon)
+            yield from ctx.send(
+                mesh.rank_of(dst, j_col), payload, tag=_TAG_STAGE_A
+            )
+    for src, dst, units in moves:
+        if dst == i_row:
+            payload = yield from ctx.recv(
+                mesh.rank_of(src, j_col), tag=_TAG_STAGE_A
+            )
+            for u, seg in zip(units, _split_units(payload, plan, units, layers)):
+                seg_store[u] = seg
+
+    # ---------- stage B: transpose within the processor row ------------
+    assigned = assignment.units_assigned_to_row(i_row)
+    row_group = ctx.group(mesh.row_ranks(i_row))
+    n_cols = mesh.nlon_procs
+    by_col: List[List[int]] = [[] for _ in range(n_cols)]
+    for u in assigned:
+        by_col[assignment.line_col[u]].append(u)
+
+    if assigned:
+        chunks = []
+        for c in range(n_cols):
+            if by_col[c]:
+                chunks.append(
+                    np.ascontiguousarray(
+                        np.concatenate([seg_store[u] for u in by_col[c]], axis=1)
+                    )
+                )
+            else:
+                chunks.append(np.empty((sub.nlon, 0)))
+        received = yield from row_group.alltoall(chunks)
+        my_units = by_col[j_col]
+        # Assemble complete lines: concatenate column segments along lon.
+        lines = np.concatenate([received[c] for c in range(n_cols)], axis=0)
+        if my_units:
+            # Whole-line FFTs: full vector length — the reason the paper
+            # chose the transpose over a distributed 1-D FFT.
+            yield from ctx.compute(
+                flops=fft_filter_flop_count(decomp.nlon, 1, lines.shape[1]),
+                mem_bytes=2.0 * lines.nbytes,
+                inner_length=decomp.nlon,
+            )
+            filtered = np.empty_like(lines)
+            per_in = _split_units(lines, plan, my_units, layers)
+            per_out = _split_units(filtered, plan, my_units, layers)
+            for u, line, out in zip(my_units, per_in, per_out):
+                out[...] = fft_filter_line(line, _unit_transfer(plan, u))
+        else:
+            filtered = lines  # (nlon, 0): nothing to do
+
+        # ---------- inverse stage B -------------------------------------
+        back_chunks = []
+        for col in range(n_cols):
+            lo, hi = decomp.lon_bounds_of_proc_col(col)
+            back_chunks.append(np.ascontiguousarray(filtered[lo:hi]))
+        back = yield from row_group.alltoall(back_chunks)
+        for c in range(n_cols):
+            segs = _split_units(back[c], plan, by_col[c], layers)
+            for u, seg in zip(by_col[c], segs):
+                seg_store[u] = seg
+
+    # ---------- inverse stage A -----------------------------------------
+    for src, dst, units in moves:
+        if dst == i_row:
+            payload = np.ascontiguousarray(
+                np.concatenate([seg_store[u] for u in units], axis=1)
+            )
+            yield from ctx.send(
+                mesh.rank_of(src, j_col), payload, tag=_TAG_STAGE_A_BACK
+            )
+    for src, dst, units in moves:
+        if src == i_row:
+            payload = yield from ctx.recv(
+                mesh.rank_of(dst, j_col), tag=_TAG_STAGE_A_BACK
+            )
+            for u, seg in zip(units, _split_units(payload, plan, units, layers)):
+                _store_segment(local_fields, plan, u, sub.lat0, seg)
+
+    # Write back the segments this rank both owns and was assigned.
+    for u in assignment.units_assigned_to_row(i_row):
+        if assignment.owner_row[u] == i_row:
+            _store_segment(local_fields, plan, u, sub.lat0, seg_store[u])
+
+
+# ----------------------------------------------------------------------
+# the distributed 1-D FFT backend (the paper's rejected alternative)
+# ----------------------------------------------------------------------
+
+def filter_fft_distributed(
+    ctx: VirtualComm,
+    decomp: Decomposition2D,
+    plan: FilterPlan,
+    local_fields: Dict[str, np.ndarray],
+):
+    """Filter via binary-exchange distributed FFTs along processor rows.
+
+    No transpose: each rank keeps its longitude segment and the FFT
+    butterflies themselves communicate (``2 log2 P`` block exchanges per
+    filtering pass).  Requires power-of-two line lengths and ranks per
+    row — one of the practical reasons the paper preferred the
+    transpose + local (mixed-radix library) FFT.  Load balance matches
+    the plain ``fft`` backend: rows without filtered latitudes idle.
+    """
+    from repro.core.distributed_fft import (
+        bitrev_transfer,
+        check_distributed_fft_shape,
+        distributed_fft_filter_line,
+    )
+
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    i_row, j_col = mesh.coords_of(ctx.rank)
+    my_units = [
+        u for u, ru in enumerate(plan.units) if sub.lat0 <= ru.lat < sub.lat1
+    ]
+    if not my_units:
+        return
+    layers = _layers_of(local_fields)
+    local_n = check_distributed_fft_shape(decomp.nlon, mesh.nlon_procs)
+    row_group = ctx.group(mesh.row_ranks(i_row))
+
+    packed = _pack_units(local_fields, plan, my_units, sub.lat0, sub.nlon)
+    # Per-layer bit-reversed transfer factors for this rank's block.
+    lo, hi = j_col * local_n, (j_col + 1) * local_n
+    t = np.empty((local_n, packed.shape[1]))
+    offs = _unit_offsets(plan, my_units, layers)
+    for i, u in enumerate(my_units):
+        ru = plan.units[u]
+        full = bitrev_transfer(
+            np.asarray(plan.filter_for(ru).transfer(ru.lat)), decomp.nlon
+        )
+        t[:, offs[i] : offs[i + 1]] = full[lo:hi, None]
+
+    filtered = yield from distributed_fft_filter_line(row_group, packed, t)
+    for u, seg in zip(my_units, _split_units(filtered, plan, my_units, layers)):
+        _store_segment(local_fields, plan, u, sub.lat0, seg)

@@ -1,0 +1,29 @@
+"""Physics load-balancing schemes (paper Section 3.4, Figures 4-6)."""
+
+from repro.core.physics_lb.base import (
+    BalanceResult,
+    Balancer,
+    Move,
+    apply_moves,
+    imbalance,
+)
+from repro.core.physics_lb.estimator import PreviousPassEstimator
+from repro.core.physics_lb.scheme1_cyclic import CyclicShuffleBalancer
+from repro.core.physics_lb.scheme2_sorted import SortedGreedyBalancer
+from repro.core.physics_lb.scheme3_pairwise import (
+    PairwiseExchangeBalancer,
+    pairwise_pass,
+)
+
+__all__ = [
+    "Balancer",
+    "BalanceResult",
+    "Move",
+    "apply_moves",
+    "imbalance",
+    "PreviousPassEstimator",
+    "CyclicShuffleBalancer",
+    "SortedGreedyBalancer",
+    "PairwiseExchangeBalancer",
+    "pairwise_pass",
+]

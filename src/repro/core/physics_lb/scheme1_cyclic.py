@@ -1,0 +1,46 @@
+"""Scheme 1 (paper Figure 4): cyclic data shuffling among all processors.
+
+Each of the ``P`` processors divides its local work into ``P`` pieces,
+keeps one and sends the other ``P - 1`` away so that every processor ends
+up with one piece from everybody.  As long as the load distribution
+*within* each processor is close to spatially uniform, the result is
+perfectly balanced — but at ``O(P^2)`` messages (a complete all-to-all)
+and the awkwardness of slicing local data into ``P`` parts, the drawbacks
+the paper cites for rejecting it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.physics_lb.base import BalanceResult, Balancer, Move, apply_moves
+
+
+class CyclicShuffleBalancer(Balancer):
+    """The complete cyclic shuffle of Figure 4."""
+
+    name = "scheme1-cyclic"
+
+    def balance(self, loads: Sequence[float]) -> BalanceResult:
+        """Every rank scatters ``(P-1)/P`` of its load uniformly to the others.
+
+        After the shuffle each rank holds ``mean(loads)`` exactly (each
+        piece is ``load_i / P`` and every rank collects one piece of every
+        ``load_i``).
+        """
+        loads = np.asarray(loads, dtype=float)
+        p = loads.size
+        moves: List[Move] = []
+        if p <= 1:
+            return BalanceResult(loads.copy(), loads.copy(), moves)
+        for src in range(p):
+            piece = loads[src] / p
+            if piece == 0:
+                continue
+            for dst in range(p):
+                if dst != src:
+                    moves.append(Move(src, dst, piece))
+        after = apply_moves(loads, moves)
+        return BalanceResult(loads.copy(), after, moves)

@@ -1,0 +1,138 @@
+"""Scheme 3 (paper Figure 6): iterative sorted pairwise exchanges — adopted.
+
+Each pass: estimate loads, sort, pair the rank of sorted position ``i``
+with the rank at position ``P - 1 - i``, and move half the difference
+within each pair.  A pass costs only ``P/2`` pairwise messages and a tiny
+sort, so it can run every physics step; repeating passes converges to a
+balanced state (Tables 1-3 show two passes take 35-48% imbalance down to
+5-6%).  Properties the paper highlights, kept here:
+
+* a pair only exchanges when its load difference exceeds a tolerance;
+* iteration stops as soon as the percentage imbalance is within a
+  prescribed tolerance — the cost/accuracy compromise knob;
+* each pass never increases the imbalance (asserted by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.physics_lb.base import BalanceResult, Balancer, Move, apply_moves, imbalance
+
+
+def pairwise_pass(
+    loads: Sequence[float],
+    pair_tolerance: float = 0.0,
+    integer_amounts: bool = False,
+) -> List[Move]:
+    """One sorted pairwise-exchange pass; returns the moves.
+
+    The heaviest rank pairs with the lightest, second-heaviest with
+    second-lightest, etc. (rank ``i`` with rank ``N - i + 1`` in the
+    paper's 1-based notation).  Each pair moves half its difference,
+    floored to an integer when ``integer_amounts`` (reproducing Figure 6's
+    worked example exactly).
+    """
+    loads = np.asarray(loads, dtype=float)
+    p = loads.size
+    order = sorted(range(p), key=lambda r: (-loads[r], r))
+    moves: List[Move] = []
+    for i in range(p // 2):
+        hi = order[i]
+        lo = order[p - 1 - i]
+        diff = loads[hi] - loads[lo]
+        if diff <= pair_tolerance:
+            continue
+        amount = diff / 2.0
+        if integer_amounts:
+            amount = float(int(amount))
+        if amount > 0:
+            moves.append(Move(hi, lo, amount))
+    return moves
+
+
+class PairwiseExchangeBalancer(Balancer):
+    """The iterative pairwise balancer (the paper's scheme of choice)."""
+
+    name = "scheme3-pairwise"
+
+    def __init__(
+        self,
+        max_passes: int = 2,
+        imbalance_tolerance: float = 0.0,
+        pair_tolerance: float = 0.0,
+        integer_amounts: bool = False,
+    ):
+        """
+        Parameters
+        ----------
+        max_passes:
+            Maximum sorting + pairwise-exchange passes (paper uses 2).
+        imbalance_tolerance:
+            Stop as soon as the percentage imbalance falls below this
+            fraction (0 disables early stopping).
+        pair_tolerance:
+            A pair with load difference at or below this does not exchange.
+        integer_amounts:
+            Floor each transfer to an integer (Figure 6's arithmetic).
+        """
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        if imbalance_tolerance < 0 or pair_tolerance < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.max_passes = max_passes
+        self.imbalance_tolerance = imbalance_tolerance
+        self.pair_tolerance = pair_tolerance
+        self.integer_amounts = integer_amounts
+
+    def balance(self, loads: Sequence[float]) -> BalanceResult:
+        """Run up to ``max_passes`` passes, stopping early within tolerance."""
+        loads = np.asarray(loads, dtype=float)
+        current = loads.copy()
+        all_moves: List[Move] = []
+        passes = 0
+        for _ in range(self.max_passes):
+            if (
+                self.imbalance_tolerance > 0
+                and imbalance(current) <= self.imbalance_tolerance
+            ):
+                break
+            moves = pairwise_pass(
+                current,
+                pair_tolerance=self.pair_tolerance,
+                integer_amounts=self.integer_amounts,
+            )
+            if not moves:
+                break
+            current = apply_moves(current, moves)
+            all_moves.extend(moves)
+            passes += 1
+        return BalanceResult(loads.copy(), current, all_moves, passes=max(passes, 1))
+
+    def balance_history(self, loads: Sequence[float]) -> List[np.ndarray]:
+        """Load vectors after each pass (index 0 = before balancing).
+
+        This is exactly the view Tables 1-3 report: before, after first,
+        after second balancing.
+        """
+        loads = np.asarray(loads, dtype=float)
+        history = [loads.copy()]
+        current = loads.copy()
+        for _ in range(self.max_passes):
+            moves = pairwise_pass(
+                current,
+                pair_tolerance=self.pair_tolerance,
+                integer_amounts=self.integer_amounts,
+            )
+            if not moves:
+                break
+            current = apply_moves(current, moves)
+            history.append(current.copy())
+            if (
+                self.imbalance_tolerance > 0
+                and imbalance(current) <= self.imbalance_tolerance
+            ):
+                break
+        return history

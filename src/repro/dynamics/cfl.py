@@ -1,0 +1,102 @@
+"""CFL analysis: why the polar filter exists (paper Sections 1-2, 3.1).
+
+With an explicit scheme and a *uniform* time step, stability requires
+``dt <= dx(phi) / (c * sqrt(2))`` at every latitude, where ``c`` is the
+fastest (inertia-gravity) wave speed.  Because ``dx ~ a cos(phi) dlambda``
+collapses toward the poles, the unfiltered model would need a tiny global
+time step.  Filtering zonal wavenumbers poleward of a critical latitude
+``phi_c`` makes the *effective* grid size there no smaller than
+``dx(phi_c)``, so the time step can be chosen from mid-latitude spacing —
+the whole economic argument for carrying the (expensive) filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.state import PHI_SCALE
+from repro.grid.sphere import SphericalGrid
+
+#: Safety factor: 2-D wave CFL uses ``dx / (c sqrt(2))`` and we keep a
+#: further margin for advection.
+CFL_SAFETY = math.sqrt(2.0)
+
+
+def gravity_wave_speed(phi_scale: float = PHI_SCALE) -> float:
+    """Fastest gravity-wave phase speed of the model [m/s]."""
+    return math.sqrt(phi_scale)
+
+
+def stable_dt_by_latitude(
+    grid: SphericalGrid, wave_speed: float | None = None
+) -> np.ndarray:
+    """Maximum stable time step at each latitude row [s], shape (nlat,)."""
+    c = gravity_wave_speed() if wave_speed is None else wave_speed
+    return grid.dlon_m / (c * CFL_SAFETY)
+
+
+def max_stable_dt(
+    grid: SphericalGrid,
+    critical_lat_deg: float = 90.0,
+    wave_speed: float | None = None,
+) -> float:
+    """Largest uniform dt stable equatorward of ``critical_lat_deg``.
+
+    With filtering poleward of ``critical_lat_deg`` this is the model's
+    usable time step; with ``critical_lat_deg = 90`` it is the (tiny)
+    unfiltered requirement.
+    """
+    dts = stable_dt_by_latitude(grid, wave_speed)
+    mask = np.abs(grid.lat_deg) <= critical_lat_deg
+    if not mask.any():
+        raise ValueError("no latitude rows equatorward of the critical latitude")
+    return float(dts[mask].min())
+
+
+def cfl_violation_rows(
+    grid: SphericalGrid, dt: float, wave_speed: float | None = None
+) -> np.ndarray:
+    """Latitude indices where ``dt`` violates the unfiltered CFL bound.
+
+    These are exactly the rows the filter must damp.
+    """
+    dts = stable_dt_by_latitude(grid, wave_speed)
+    return np.nonzero(dts < dt)[0]
+
+
+def filter_speedup_factor(
+    grid: SphericalGrid, critical_lat_deg: float = 45.0
+) -> float:
+    """How much larger a time step filtering permits.
+
+    Ratio of the filtered (``phi_c``) to unfiltered stable dt — the
+    "uniformly larger time steps" the paper credits the filter with.
+    """
+    return max_stable_dt(grid, critical_lat_deg) / max_stable_dt(grid, 90.0)
+
+
+@dataclass(frozen=True)
+class CflReport:
+    """Summary of the CFL situation for a grid + time step choice."""
+
+    dt: float
+    wave_speed: float
+    unfiltered_dt: float
+    filtered_dt_45: float
+    violating_rows: int
+
+    @classmethod
+    def for_grid(
+        cls, grid: SphericalGrid, dt: float, wave_speed: float | None = None
+    ) -> "CflReport":
+        c = gravity_wave_speed() if wave_speed is None else wave_speed
+        return cls(
+            dt=dt,
+            wave_speed=c,
+            unfiltered_dt=max_stable_dt(grid, 90.0, c),
+            filtered_dt_45=max_stable_dt(grid, 45.0, c),
+            violating_rows=int(cfl_violation_rows(grid, dt, c).size),
+        )

@@ -1,0 +1,171 @@
+"""The finite-difference tendency kernel (AGCM/Dynamics inner loop).
+
+Computes the time tendencies of all prognostic variables on one
+halo-padded block.  The discretisation is the classic C-grid scheme:
+
+* flux-form continuity for the layer mass field ``pt`` (conserves the
+  global integral exactly; the meridional flux is weighted by the face
+  cosine, which vanishes at the poles and closes the domain);
+* momentum equations with Coriolis, geopotential gradient
+  (``PHI_SCALE * pt / PT_REFERENCE``) and centred advection;
+* advective transport for the humidity tracer ``q``;
+* a weak del-squared diffusion for numerical stability (configurable);
+* ``ps`` relaxes with the layer-mean mass tendency.
+
+Everything is a vectorised numpy expression over the padded block — the
+"production" kernel.  The deliberately *unoptimised* variants the paper's
+single-node study starts from live in :mod:`repro.perf.advection_opt`.
+
+``FLOPS_PER_POINT_LAYER`` is the hand-counted arithmetic cost of this
+kernel per grid point per layer; the virtual machine charges it when the
+kernel runs inside a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro import constants as c
+from repro.dynamics.geometry import LocalGeometry
+from repro.dynamics.operators import (
+    laplacian5,
+    u_at_v_points,
+    v_at_u_points,
+)
+from repro.dynamics.state import PHI_SCALE, PT_REFERENCE
+
+#: Hand-counted flops per grid point per layer of one tendency evaluation
+#: of the *reduced* kernel implemented here (continuity 14, u-momentum 29,
+#: v-momentum 29, tracer 22, diffusion on pt 8, ps amortised ~3).
+FLOPS_PER_POINT_LAYER = 105.0
+
+#: Calibrated per-point-layer workload of the full UCLA AGCM Dynamics,
+#: charged to the virtual machine.  The full model evaluates far more than
+#: the reduced kernel (full primitive equations, vertical differencing,
+#: energy conversion, moist terms); 1550 reproduces the paper's measured
+#: serial rate (8702 s/simulated-day for the 144 x 90 x 9 grid on a
+#: ~6 Mflop/s Paragon node implies ~1800 flops per point-layer-step for
+#: Dynamics including its filter).  See DESIGN.md's substitution notes.
+AGCM_FLOPS_PER_POINT_LAYER = 1550.0
+
+
+@dataclass(frozen=True)
+class DynamicsParams:
+    """Tunable parameters of the dynamical core."""
+
+    #: Horizontal del-squared diffusion coefficient [m^2/s].
+    diffusion: float = 8.0e4
+
+    #: Geopotential scale (gravity-wave speed squared) [m^2/s^2].
+    phi_scale: float = PHI_SCALE
+
+
+def compute_tendencies(
+    padded: Dict[str, np.ndarray],
+    geom: LocalGeometry,
+    params: DynamicsParams = DynamicsParams(),
+) -> Dict[str, np.ndarray]:
+    """Tendencies of all prognostics on the interior of a padded block.
+
+    Parameters
+    ----------
+    padded:
+        ``{"u", "v", "pt", "q": (n+2, m+2, K), "ps": (n+2, m+2, 1)}``
+        halo-1 padded local fields.
+    geom:
+        The block's :class:`LocalGeometry` (padded-row metrics).
+
+    Returns
+    -------
+    dict of interior-shaped tendency arrays, same keys as ``padded``.
+    """
+    u, v, pt, q = padded["u"], padded["v"], padded["pt"], padded["q"]
+    ndim = u.ndim
+    dx_c = geom.col(geom.dx_c, ndim)
+    cos_c = geom.col(geom.cos_c, ndim)
+    f_c = geom.col(geom.f_c, ndim)
+    dy = geom.dy
+    # Latitude-scaled diffusion coefficient (see LocalGeometry.diff_scale).
+    nu = params.diffusion * geom.col(geom.diff_scale, ndim)
+    phi_fac = params.phi_scale / PT_REFERENCE
+
+    # ---- continuity: flux-form mass transport -------------------------
+    # Zonal flux at the east face of every padded column but the last.
+    fx = u[:, :-1] * (0.5 * (pt[:, :-1] + pt[:, 1:]))
+    div_x = (fx[1:-1, 1:] - fx[1:-1, :-1]) / dx_c
+    # Meridional flux through the north face of every padded row but the
+    # last, weighted by the face cosine (zero at the poles -> closed).
+    cos_n_rows = geom.cos_n[:-1].reshape(-1, *([1] * (ndim - 1)))
+    fy = v[:-1] * (0.5 * (pt[:-1] + pt[1:])) * cos_n_rows
+    div_y = (fy[1:] - fy[:-1])[:, 1:-1] / (cos_c * dy)
+    dpt = -(div_x + div_y)
+
+    # ---- u momentum (u points = east faces) ----------------------------
+    dphi_dx = phi_fac * (pt[1:-1, 2:] - pt[1:-1, 1:-1]) / dx_c
+    v4 = v_at_u_points(v)
+    u_c = u[1:-1, 1:-1]
+    du_dx = (u[1:-1, 2:] - u[1:-1, :-2]) / (2.0 * dx_c)
+    du_dy = (u[2:, 1:-1] - u[:-2, 1:-1]) / (2.0 * dy)
+    du = (
+        f_c * v4
+        - dphi_dx
+        - (u_c * du_dx + v4 * du_dy)
+        + nu * laplacian5(u, geom.dx_c[1:-1], dy)
+    )
+
+    # ---- v momentum (v points = north faces) ---------------------------
+    f_n = geom.col(geom.f_n, ndim)
+    dx_n = geom.col(geom.dx_n, ndim)
+    dphi_dy = phi_fac * (pt[2:, 1:-1] - pt[1:-1, 1:-1]) / dy
+    u4 = u_at_v_points(u)
+    v_c = v[1:-1, 1:-1]
+    dv_dx = (v[1:-1, 2:] - v[1:-1, :-2]) / (2.0 * dx_n)
+    dv_dy = (v[2:, 1:-1] - v[:-2, 1:-1]) / (2.0 * dy)
+    dv = (
+        -f_n * u4
+        - dphi_dy
+        - (u4 * dv_dx + v_c * dv_dy)
+        + nu * laplacian5(v, geom.dx_n[1:-1], dy)
+    )
+    # No flow through the poles: zero the tendency where the face cosine
+    # vanishes (the top row of the northernmost block).
+    polar = geom.cos_n[1:-1] <= 0.0
+    if polar.any():
+        dv[polar] = 0.0
+
+    # ---- humidity tracer (advective form at centres) --------------------
+    u_ctr = 0.5 * (u[1:-1, 1:-1] + u[1:-1, :-2])
+    v_ctr = 0.5 * (v[1:-1, 1:-1] + v[:-2, 1:-1])
+    dq = -(
+        u_ctr * (q[1:-1, 2:] - q[1:-1, :-2]) / (2.0 * dx_c)
+        + v_ctr * (q[2:, 1:-1] - q[:-2, 1:-1]) / (2.0 * dy)
+    ) + nu * laplacian5(q, geom.dx_c[1:-1], dy)
+
+    # ---- pt diffusion (stabilises the mass field) ------------------------
+    dpt = dpt + nu * laplacian5(pt, geom.dx_c[1:-1], dy)
+
+    # ---- surface pressure proxy -------------------------------------------
+    dps = (c.P_REFERENCE / PT_REFERENCE) * dpt.mean(axis=2, keepdims=True)
+
+    return {"u": du, "v": dv, "pt": dpt, "q": dq, "ps": dps}
+
+
+def dynamics_flops(npoints: int, nlayers: int) -> float:
+    """Flops charged for one tendency evaluation on ``npoints`` columns.
+
+    Uses the calibrated full-AGCM workload, not the reduced kernel's own
+    arithmetic count (see :data:`AGCM_FLOPS_PER_POINT_LAYER`).
+    """
+    return AGCM_FLOPS_PER_POINT_LAYER * npoints * nlayers
+
+
+def dynamics_mem_bytes(npoints: int, nlayers: int) -> float:
+    """Approximate memory traffic of one tendency evaluation [bytes].
+
+    Five prognostic arrays read plus five tendency arrays written, with a
+    ~3x reuse factor for the stencil neighbours.
+    """
+    return 8.0 * npoints * nlayers * (5 + 5) * 3.0

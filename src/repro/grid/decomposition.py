@@ -1,0 +1,145 @@
+"""2-D horizontal domain decomposition of the AGCM grid.
+
+The parallel UCLA AGCM partitions the horizontal plane over an ``M x N``
+processor mesh (paper Section 2): each rank owns a rectangular lat-lon
+block containing *all* vertical layers, because column physics couples the
+vertical too strongly to split it.  Grid extents are generally not
+divisible by the mesh (the paper's own 8x30 mesh over a 90 x 144 grid is
+not), so blocks use the front-loaded partition of
+:func:`repro.util.partition.block_partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.parallel.topology import ProcessorMesh
+from repro.util.partition import block_bounds, owner_of
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """The rectangular block of the global grid owned by one rank.
+
+    ``lat0:lat1`` and ``lon0:lon1`` are half-open global index ranges
+    (axis 0 = latitude, axis 1 = longitude).
+    """
+
+    rank: int
+    ilat_proc: int
+    jlon_proc: int
+    lat0: int
+    lat1: int
+    lon0: int
+    lon1: int
+
+    @property
+    def nlat(self) -> int:
+        """Local latitude extent."""
+        return self.lat1 - self.lat0
+
+    @property
+    def nlon(self) -> int:
+        """Local longitude extent."""
+        return self.lon1 - self.lon0
+
+    @property
+    def lat_slice(self) -> slice:
+        """Global latitude slice of this block."""
+        return slice(self.lat0, self.lat1)
+
+    @property
+    def lon_slice(self) -> slice:
+        """Global longitude slice of this block."""
+        return slice(self.lon0, self.lon1)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Local horizontal shape (nlat, nlon)."""
+        return (self.nlat, self.nlon)
+
+
+class Decomposition2D:
+    """Block decomposition of an ``nlat x nlon`` grid over a processor mesh."""
+
+    def __init__(self, nlat: int, nlon: int, mesh: ProcessorMesh):
+        if nlat < mesh.nlat_procs or nlon < mesh.nlon_procs:
+            raise ValueError(
+                f"grid {nlat}x{nlon} too small for mesh {mesh.describe()}"
+            )
+        self.nlat = nlat
+        self.nlon = nlon
+        self.mesh = mesh
+        self._lat_bounds = block_bounds(nlat, mesh.nlat_procs)
+        self._lon_bounds = block_bounds(nlon, mesh.nlon_procs)
+        self._subdomains: List[Subdomain] = []
+        for rank in range(mesh.size):
+            i, j = mesh.coords_of(rank)
+            lat0, lat1 = self._lat_bounds[i]
+            lon0, lon1 = self._lon_bounds[j]
+            self._subdomains.append(
+                Subdomain(rank, i, j, lat0, lat1, lon0, lon1)
+            )
+
+    # -- lookup --------------------------------------------------------
+    def subdomain(self, rank: int) -> Subdomain:
+        """The :class:`Subdomain` owned by ``rank``."""
+        return self._subdomains[rank]
+
+    def subdomains(self) -> List[Subdomain]:
+        """All subdomains in rank order."""
+        return list(self._subdomains)
+
+    def owner_of_point(self, glat: int, glon: int) -> int:
+        """Rank owning global grid point ``(glat, glon)``."""
+        i = owner_of(glat, self.nlat, self.mesh.nlat_procs)
+        j = owner_of(glon, self.nlon, self.mesh.nlon_procs)
+        return self.mesh.rank_of(i, j)
+
+    def lat_bounds_of_proc_row(self, ilat_proc: int) -> Tuple[int, int]:
+        """Global latitude range owned by processor row ``ilat_proc``."""
+        return self._lat_bounds[ilat_proc]
+
+    def lon_bounds_of_proc_col(self, jlon_proc: int) -> Tuple[int, int]:
+        """Global longitude range owned by processor column ``jlon_proc``."""
+        return self._lon_bounds[jlon_proc]
+
+    # -- scatter / gather (serial reference; used by tests & drivers) ---
+    def scatter(self, global_field: np.ndarray) -> List[np.ndarray]:
+        """Split a global ``(nlat, nlon, ...)`` array into per-rank blocks.
+
+        Returns copies (each rank owns its memory, as on a real machine).
+        """
+        if global_field.shape[:2] != (self.nlat, self.nlon):
+            raise ValueError(
+                f"field shape {global_field.shape[:2]} does not match grid "
+                f"({self.nlat}, {self.nlon})"
+            )
+        return [
+            np.ascontiguousarray(global_field[s.lat_slice, s.lon_slice])
+            for s in self._subdomains
+        ]
+
+    def gather(self, blocks: List[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank blocks into a global array."""
+        if len(blocks) != self.mesh.size:
+            raise ValueError(
+                f"need {self.mesh.size} blocks, got {len(blocks)}"
+            )
+        trailing = blocks[0].shape[2:]
+        out = np.empty((self.nlat, self.nlon, *trailing), dtype=blocks[0].dtype)
+        for sub, block in zip(self._subdomains, blocks):
+            if block.shape[:2] != sub.shape:
+                raise ValueError(
+                    f"rank {sub.rank}: block shape {block.shape[:2]} != "
+                    f"subdomain {sub.shape}"
+                )
+            out[sub.lat_slice, sub.lon_slice] = block
+        return out
+
+    def counts(self) -> Dict[int, int]:
+        """Points per rank — used for load-distribution diagnostics."""
+        return {s.rank: s.nlat * s.nlon for s in self._subdomains}

@@ -1,0 +1,25 @@
+"""History files and byte-order conversion (the NetCDF substitute)."""
+
+from repro.io.byteorder import (
+    BIG,
+    LITTLE,
+    convert_record,
+    encode_record,
+    native_order,
+    reinterpret_swapped,
+    swap_bytes,
+)
+from repro.io.history import HistoryMetadata, HistoryReader, HistoryWriter
+
+__all__ = [
+    "BIG",
+    "LITTLE",
+    "native_order",
+    "swap_bytes",
+    "reinterpret_swapped",
+    "convert_record",
+    "encode_record",
+    "HistoryMetadata",
+    "HistoryReader",
+    "HistoryWriter",
+]

@@ -1,0 +1,68 @@
+"""Byte-order reversal for raw history records (paper Section 4).
+
+"Since the UCLA AGCM code uses a NETCDF input history file and we do not
+have a NETCDF library available on the Paragon, we had to develop a
+byte-order reversal routine to convert the history data" — the kind of
+glue a port to a little-endian machine (the i860) needed for big-endian
+workstation data.  This module is that routine: endianness detection and
+in-place byte swapping for raw numeric records.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+BIG = ">"
+LITTLE = "<"
+
+
+def native_order() -> str:
+    """This machine's byte order as ``">"`` or ``"<"``."""
+    return BIG if sys.byteorder == "big" else LITTLE
+
+
+def swap_bytes(array: np.ndarray) -> np.ndarray:
+    """Return a copy with reversed byte order (data bits unchanged).
+
+    The returned array has the opposite dtype byte order, so its *values*
+    equal the input's — this is the metadata-correct swap.
+    """
+    return array.byteswap().view(array.dtype.newbyteorder())
+
+
+def reinterpret_swapped(array: np.ndarray) -> np.ndarray:
+    """Reinterpret raw bytes as the opposite byte order (values change).
+
+    This is what reading foreign-endian raw records *without* conversion
+    yields — the garbage the reversal routine exists to prevent.
+    """
+    return array.view(array.dtype.newbyteorder())
+
+
+def convert_record(raw: bytes, dtype, count: int = -1,
+                   source_order: str = BIG) -> np.ndarray:
+    """Decode a raw record written on a ``source_order`` machine.
+
+    Returns a native-endian array regardless of the writing machine —
+    exactly the Paragon conversion path.
+
+    >>> import numpy as np
+    >>> raw = np.arange(4, dtype=">f8").tobytes()
+    >>> convert_record(raw, np.float64, source_order=">").tolist()
+    [0.0, 1.0, 2.0, 3.0]
+    """
+    if source_order not in (BIG, LITTLE):
+        raise ValueError(f"source_order must be '>' or '<', got {source_order!r}")
+    dt = np.dtype(dtype).newbyteorder(source_order)
+    arr = np.frombuffer(raw, dtype=dt, count=count)
+    return np.ascontiguousarray(arr, dtype=np.dtype(dtype).newbyteorder("="))
+
+
+def encode_record(array: np.ndarray, target_order: str = BIG) -> bytes:
+    """Encode an array as raw bytes in ``target_order`` (for round-trips)."""
+    if target_order not in (BIG, LITTLE):
+        raise ValueError(f"target_order must be '>' or '<', got {target_order!r}")
+    dt = array.dtype.newbyteorder(target_order)
+    return np.ascontiguousarray(array, dtype=dt).tobytes()

@@ -1,0 +1,189 @@
+"""Closed-form cost model of the parallel AGCM — fast parameter sweeps.
+
+The discrete-event simulation moves real data and is exact but costs real
+wall-clock time per mesh point.  This module prices a configuration
+analytically from the same machine model, for wide sweeps (machine
+sensitivity ablations, mesh-shape exploration) and as an independent
+cross-check of the simulator (tests assert agreement to within a modest
+factor — the analytic model ignores wait-time propagation between
+phases).
+
+All estimates are per simulated day, for the worst-loaded (critical-path)
+rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.balance_plan import balanced_assignment, natural_assignment
+from repro.core.masks import make_filter_plan
+from repro.dynamics.tendencies import AGCM_FLOPS_PER_POINT_LAYER
+from repro.grid.decomposition import Decomposition2D
+from repro.model.config import AGCMConfig
+from repro.model.parallel_agcm import UPDATE_FLOPS_PER_POINT_LAYER
+from repro.parallel.costs import fft_filter_flops
+from repro.parallel.machine import MachineModel
+from repro.parallel.topology import ProcessorMesh
+from repro.physics.workload import mean_column_flops
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Analytic per-day costs [virtual s/day] for one configuration."""
+
+    fd: float
+    halo: float
+    filtering: float
+    physics: float
+
+    @property
+    def dynamics(self) -> float:
+        return self.fd + self.halo + self.filtering
+
+    @property
+    def total(self) -> float:
+        return self.dynamics + self.physics
+
+
+def estimate_costs(
+    cfg: AGCMConfig,
+    mesh: ProcessorMesh,
+    machine: MachineModel,
+    physics_imbalance: float = 0.45,
+) -> CostEstimate:
+    """Analytic critical-path cost of one configuration.
+
+    ``physics_imbalance`` is the expected percentage-of-load-imbalance of
+    the physics component (the paper's Tables 1-3 measure 35-48% before
+    balancing; pass ~0.06 to model a balanced run).
+    """
+    grid = cfg.make_grid()
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+    plan = make_filter_plan(grid)
+    steps = cfg.steps_per_day()
+    phys_calls = max(1, steps // cfg.physics_every)
+    k = cfg.nlayers
+
+    # Worst block (critical path).
+    subs = decomp.subdomains()
+    worst = max(subs, key=lambda s: s.nlat * s.nlon)
+    npts = worst.nlat * worst.nlon
+
+    # --- finite differences + update -----------------------------------
+    fd_flops = (AGCM_FLOPS_PER_POINT_LAYER + UPDATE_FLOPS_PER_POINT_LAYER) * npts * k
+    fd = steps * machine.compute_time(fd_flops, inner_length=worst.nlon)
+
+    # --- halo exchange ---------------------------------------------------
+    nvars = 5
+    ew_bytes = worst.nlat * k * 8
+    ns_bytes = (worst.nlon + 2) * k * 8
+    per_step = nvars * (
+        2 * machine.message_time(ew_bytes) + 2 * machine.message_time(ns_bytes)
+    )
+    halo = steps * per_step if mesh.size > 1 else 0.0
+
+    # --- filtering --------------------------------------------------------
+    filtering = steps * _filter_step_cost(cfg, decomp, machine, plan)
+
+    # --- physics ------------------------------------------------------------
+    mean_cols = cfg.nlat * cfg.nlon / mesh.size
+    per_call = machine.compute_time(
+        mean_column_flops(k) * mean_cols * (1.0 + physics_imbalance)
+    )
+    physics = phys_calls * per_call
+
+    return CostEstimate(fd=fd, halo=halo, filtering=filtering, physics=physics)
+
+
+def _filter_step_cost(
+    cfg: AGCMConfig,
+    decomp: Decomposition2D,
+    machine: MachineModel,
+    plan,
+) -> float:
+    """Critical-path cost of one filtering application [s]."""
+    k = cfg.nlayers
+    nlon = cfg.nlon
+    name = cfg.filter_backend
+    mesh = decomp.mesh
+
+    if name.startswith("convolution"):
+        # Worst processor row: most filtered layers.
+        worst_layers = 0
+        for i in range(mesh.nlat_procs):
+            lat0, lat1 = decomp.lat_bounds_of_proc_row(i)
+            layers = sum(
+                (k if u.var != "ps" else 1)
+                for u in plan.units_in_lat_range(lat0, lat1)
+            )
+            worst_layers = max(worst_layers, layers)
+        m_mean = _mean_damped_bins(plan)
+        seg = max(s.nlon for s in decomp.subdomains())
+        if name == "convolution-ring":
+            compute = machine.compute_time(
+                2.0 * seg * m_mean * worst_layers * 2, inner_length=seg
+            )
+            rounds = mesh.nlon_procs - 1
+            msg = worst_layers * seg * 8
+            comm = rounds * machine.message_time(msg)
+        else:  # tree: the leader convolves whole lines
+            compute = machine.compute_time(
+                2.0 * nlon * m_mean * worst_layers * 2, inner_length=nlon
+            )
+            import math
+
+            rounds = 2 * max(1, math.ceil(math.log2(max(2, mesh.nlon_procs))))
+            comm = rounds * machine.message_time(worst_layers * nlon * 8)
+        return compute + comm
+
+    # FFT variants: lines per rank from the assignment.
+    if name == "fft":
+        assignment = natural_assignment(plan, decomp)
+    else:
+        assignment = balanced_assignment(plan, decomp)
+    lines = assignment.lines_per_rank()
+    worst_rank = int(np.argmax(lines))
+    layer_lines = 0
+    for u in assignment.lines_on_rank(worst_rank):
+        layer_lines += k if plan.units[u].var != "ps" else 1
+    compute = machine.compute_time(
+        fft_filter_flops(nlon) * layer_lines, inner_length=nlon
+    )
+    # Two all-to-alls within the processor row + stage-A shifts.
+    rounds = 2 * (mesh.nlon_procs - 1)
+    chunk = max(1, layer_lines) * max(
+        s.nlon for s in decomp.subdomains()
+    ) * 8 // max(1, mesh.nlon_procs)
+    comm = rounds * machine.message_time(int(chunk))
+    if name == "fft-lb":
+        comm += 2 * machine.message_time(int(chunk))  # stage A there-and-back
+    return compute + comm
+
+
+def _mean_damped_bins(plan) -> float:
+    """Average damped-wavenumber count over all filtered units."""
+    total, count = 0, 0
+    for u in plan.units:
+        total += plan.filter_for(u).damped_bin_count(u.lat)
+        count += 1
+    return total / count if count else 0.0
+
+
+def sweep_meshes(
+    cfg: AGCMConfig,
+    meshes,
+    machine: MachineModel,
+    physics_imbalance: float = 0.45,
+) -> Dict[str, CostEstimate]:
+    """Estimate costs for several meshes; keys are ``"M x N"`` labels."""
+    out = {}
+    for dims in meshes:
+        mesh = ProcessorMesh(*dims)
+        out[mesh.describe()] = estimate_costs(
+            cfg, mesh, machine, physics_imbalance
+        )
+    return out

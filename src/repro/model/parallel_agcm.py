@@ -1,0 +1,284 @@
+"""The SPMD parallel AGCM: the rank program the virtual machine executes.
+
+This is the parallel counterpart of :class:`repro.model.agcm.AGCM` — same
+numerics, decomposed over a 2-D processor mesh, with every message and
+flop charged to the machine model.  Integration tests assert the gathered
+parallel fields equal the serial driver's bit-for-bit (the numerics use
+the same kernels on halo-padded blocks), while the virtual trace supplies
+all the paper's timing tables.
+
+Per step:
+
+* ``physics``   — column physics every ``physics_every`` steps, with
+  optional scheme-3 load balancing (columns move between ranks following
+  a globally derived :class:`~repro.model.physics_balance.ColumnFlowPlan`);
+* ``dynamics``  — halo exchange, finite-difference tendencies, polar
+  filtering of the tendencies (any of the four backends), leapfrog update.
+
+Phase names recorded in the trace: ``"physics"``, ``"dynamics"``, and
+within dynamics ``"halo"``, ``"fd"``, ``"filtering"``, ``"update"`` —
+these give the Figure-1 component breakdown directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants as c
+from repro.core.masks import make_filter_plan
+from repro.core.parallel_filter import prepare_filter_backend
+from repro.dynamics.geometry import LocalGeometry
+from repro.dynamics.implicit import implicit_vertical_diffusion
+from repro.dynamics.state import PROGNOSTIC_NAMES, initial_fields_block
+from repro.dynamics.tendencies import (
+    compute_tendencies,
+    dynamics_flops,
+    dynamics_mem_bytes,
+)
+from repro.grid.decomposition import Decomposition2D
+from repro.grid.halo import exchange_halos
+from repro.model.config import AGCMConfig
+from repro.model.physics_balance import ColumnFlowPlan, plan_column_flow
+from repro.physics.driver import ColumnSet, run_physics
+
+_TAG_LB_DATA = 0x00CC0001
+_TAG_LB_RESULT = 0x00CC0002
+
+#: Flops per point-layer of the leapfrog update (5 fields x ~3 ops).
+UPDATE_FLOPS_PER_POINT_LAYER = 15.0
+
+#: Flops per point-layer of one batched Thomas solve (2 fields x ~8 ops).
+VDIFF_FLOPS_PER_POINT_LAYER = 16.0
+
+
+def agcm_rank_program(
+    ctx,
+    cfg: AGCMConfig,
+    decomp: Decomposition2D,
+    nsteps: int,
+    return_fields: bool = False,
+):
+    """Generator: run ``nsteps`` AGCM steps on this rank's subdomain.
+
+    Returns a summary dict; with ``return_fields=True`` it includes the
+    final local prognostic arrays (used by the equivalence tests).
+    """
+    grid = cfg.make_grid()
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    geom = LocalGeometry.from_grid(grid, sub.lat0, sub.lat1)
+    lat_rad_loc = grid.lat_rad[sub.lat_slice]
+    lon_rad_loc = grid.lon_rad[sub.lon_slice]
+    plan = make_filter_plan(grid)
+    backend = prepare_filter_backend(cfg.filter_backend, plan, decomp)
+    dt = cfg.timestep()
+    npts = sub.nlat * sub.nlon
+    nlayers = cfg.nlayers
+    is_north_edge = sub.lat1 == decomp.nlat
+
+    now = initial_fields_block(lat_rad_loc, lon_rad_loc, nlayers, seed=cfg.seed)
+    prev: Optional[Dict[str, np.ndarray]] = None
+    forcing_pt = np.zeros((sub.nlat, sub.nlon, nlayers))
+    forcing_q = np.zeros_like(forcing_pt)
+
+    # Physics-LB state: static column counts are exchanged once at setup;
+    # load estimates are the measured previous physics pass.
+    all_ncols: Optional[List[int]] = None
+    my_phys_seconds: Optional[float] = None
+    physics_calls = 0
+    columns_moved_total = 0
+
+    time_now = 0.0
+    for step in range(nsteps):
+        # ---------------- physics ------------------------------------
+        if step % cfg.physics_every == 0:
+            with ctx.region("physics"):
+                t_phys0 = ctx.clock
+                time_frac = (time_now % c.SECONDS_PER_DAY) / c.SECONDS_PER_DAY
+                cols = ColumnSet.from_block(
+                    now["pt"], now["q"], lat_rad_loc, lon_rad_loc
+                )
+                use_lb = cfg.physics_lb and mesh.size > 1
+                if use_lb and all_ncols is None:
+                    all_ncols = yield from ctx.allgather(cols.ncol)
+                if use_lb and my_phys_seconds is not None:
+                    tend_pt_cols, tend_q_cols, moved = yield from _physics_balanced(
+                        ctx, cfg, cols, time_frac, step, all_ncols,
+                        my_phys_seconds,
+                    )
+                    columns_moved_total += moved
+                else:
+                    result = run_physics(cols, time_frac, step, cfg.physics)
+                    yield from ctx.compute(flops=result.total_flops)
+                    tend_pt_cols, tend_q_cols = result.tend_pt, result.tend_q
+                forcing_pt[...] = tend_pt_cols.reshape(sub.nlat, sub.nlon, nlayers)
+                forcing_q[...] = tend_q_cols.reshape(sub.nlat, sub.nlon, nlayers)
+                my_phys_seconds = ctx.clock - t_phys0
+                physics_calls += 1
+
+        # ---------------- dynamics -----------------------------------
+        with ctx.region("dynamics"):
+            with ctx.region("halo"):
+                padded = {}
+                for name in PROGNOSTIC_NAMES:
+                    padded[name] = yield from exchange_halos(
+                        ctx, decomp, now[name]
+                    )
+            with ctx.region("fd"):
+                yield from ctx.compute(
+                    flops=dynamics_flops(npts, nlayers),
+                    mem_bytes=dynamics_mem_bytes(npts, nlayers),
+                    inner_length=sub.nlon,
+                )
+                tend = compute_tendencies(padded, geom, cfg.dynamics)
+                tend["pt"] = tend["pt"] + forcing_pt
+                tend["q"] = tend["q"] + forcing_q
+            with ctx.region("filtering"):
+                yield from backend.apply(ctx, tend)
+            with ctx.region("update"):
+                yield from ctx.compute(
+                    flops=UPDATE_FLOPS_PER_POINT_LAYER * npts * nlayers,
+                    inner_length=sub.nlon,
+                )
+                prev, now = _advance(prev, now, tend, dt, cfg.ra_coeff)
+                if is_north_edge:
+                    now["v"][-1, ...] = 0.0
+                if cfg.vertical_diffusion > 0:
+                    yield from ctx.compute(
+                        flops=VDIFF_FLOPS_PER_POINT_LAYER * npts * nlayers,
+                        inner_length=nlayers,
+                    )
+                    for name in ("pt", "q"):
+                        now[name] = implicit_vertical_diffusion(
+                            now[name], dt, cfg.vertical_diffusion, cfg.dz
+                        )
+        time_now += dt
+
+    summary = {
+        "rank": ctx.rank,
+        "subdomain": (sub.lat0, sub.lat1, sub.lon0, sub.lon1),
+        "steps": nsteps,
+        "physics_calls": physics_calls,
+        "columns_moved": columns_moved_total,
+        "max_wind": float(
+            max(np.abs(now["u"]).max(), np.abs(now["v"]).max())
+        ),
+        "finite": bool(all(np.isfinite(a).all() for a in now.values())),
+    }
+    if return_fields:
+        summary["fields"] = now
+    return summary
+
+
+def _advance(
+    prev: Optional[Dict[str, np.ndarray]],
+    now: Dict[str, np.ndarray],
+    tend: Dict[str, np.ndarray],
+    dt: float,
+    ra_coeff: float,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Leapfrog (or initial Euler) update on plain field dicts.
+
+    Mirrors :func:`repro.dynamics.timestep.leapfrog_step` exactly,
+    including the in-place Robert-Asselin correction of ``now``.
+    """
+    if prev is None:
+        nxt = {
+            name: now[name] + dt * tend[name] for name in PROGNOSTIC_NAMES
+        }
+        return now, nxt
+    nxt = {
+        name: prev[name] + 2.0 * dt * tend[name] for name in PROGNOSTIC_NAMES
+    }
+    if ra_coeff > 0:
+        for name in PROGNOSTIC_NAMES:
+            now[name] += ra_coeff * (
+                prev[name] - 2.0 * now[name] + nxt[name]
+            )
+    return now, nxt
+
+
+def _physics_balanced(
+    ctx,
+    cfg: AGCMConfig,
+    cols: ColumnSet,
+    time_frac: float,
+    step: int,
+    all_ncols: List[int],
+    my_prev_seconds: float,
+):
+    """Scheme-3 balanced physics: move columns, compute, return results.
+
+    Generator; returns ``(tend_pt, tend_q, columns_moved_by_me)`` with the
+    tendency arrays covering this rank's *own* columns in order.
+    """
+    # 1. Share the previous-pass measurements (the paper's estimator).
+    loads = yield from ctx.allgather(my_prev_seconds)
+    flow: ColumnFlowPlan = plan_column_flow(
+        loads, all_ncols, max_passes=cfg.lb_passes
+    )
+
+    # 2. Execute the planned column movements, pass by pass.
+    #    Working arrays start as our own columns; runs are appended in
+    #    exactly the order the plan's holdings record.
+    work_pt, work_q = cols.pt, cols.q
+    work_lat, work_lon = cols.lat_rad, cols.lon_rad
+    moved_by_me = 0
+    for pass_moves in flow.passes:
+        for mv in pass_moves:
+            if mv.src == ctx.rank:
+                n = mv.ncols
+                payload = {
+                    "pt": work_pt[-n:].copy(),
+                    "q": work_q[-n:].copy(),
+                    "lat": work_lat[-n:].copy(),
+                    "lon": work_lon[-n:].copy(),
+                }
+                work_pt, work_q = work_pt[:-n], work_q[:-n]
+                work_lat, work_lon = work_lat[:-n], work_lon[:-n]
+                yield from ctx.send(mv.dst, payload, tag=_TAG_LB_DATA)
+                moved_by_me += n
+            elif mv.dst == ctx.rank:
+                payload = yield from ctx.recv(mv.src, tag=_TAG_LB_DATA)
+                work_pt = np.concatenate([work_pt, payload["pt"]])
+                work_q = np.concatenate([work_q, payload["q"]])
+                work_lat = np.concatenate([work_lat, payload["lat"]])
+                work_lon = np.concatenate([work_lon, payload["lon"]])
+
+    # 3. Compute physics on everything we now hold.
+    held = ColumnSet(pt=work_pt, q=work_q, lat_rad=work_lat, lon_rad=work_lon)
+    if held.ncol:
+        result = run_physics(held, time_frac, step, cfg.physics)
+        yield from ctx.compute(flops=result.total_flops)
+        tend_pt_held, tend_q_held = result.tend_pt, result.tend_q
+    else:
+        k = cols.nlayers
+        tend_pt_held = np.zeros((0, k))
+        tend_q_held = np.zeros((0, k))
+
+    # 4. Return guest results to their origins; collect our own.
+    tend_pt = np.zeros_like(cols.pt)
+    tend_q = np.zeros_like(cols.q)
+    offset = 0
+    for run in flow.holdings[ctx.rank]:
+        seg_pt = tend_pt_held[offset : offset + run.count]
+        seg_q = tend_q_held[offset : offset + run.count]
+        if run.origin == ctx.rank:
+            tend_pt[run.start : run.start + run.count] = seg_pt
+            tend_q[run.start : run.start + run.count] = seg_q
+        else:
+            yield from ctx.send(
+                run.origin,
+                {"start": run.start, "pt": seg_pt.copy(), "q": seg_q.copy()},
+                tag=_TAG_LB_RESULT,
+            )
+        offset += run.count
+    for holder, run in flow.expected_returns(ctx.rank):
+        payload = yield from ctx.recv(holder, tag=_TAG_LB_RESULT)
+        start, count = payload["start"], payload["pt"].shape[0]
+        tend_pt[start : start + count] = payload["pt"]
+        tend_q[start : start + count] = payload["q"]
+    return tend_pt, tend_q, moved_by_me

@@ -1,0 +1,279 @@
+"""Collective-communication algorithms built from point-to-point messages.
+
+The paper compares filtering implementations by the message counts and
+data volumes of the underlying communication patterns (ring, binary tree,
+transpose).  To make those comparisons real, every collective here is an
+explicit algorithm over ``Send``/``Recv`` primitives, so a simulation run
+charges exactly the messages the algorithm performs:
+
+* broadcast / reduce — binomial trees, ``ceil(log2 P)`` rounds;
+* allgather — the ring algorithm, ``P - 1`` rounds (the pattern used by
+  the original convolution filter's ring variant);
+* all-to-all — pairwise exchange, ``P - 1`` rounds (the pattern of the
+  transpose-based FFT filter and of physics load-balancing scheme 1).
+
+All functions are generators intended to be driven through a
+:class:`~repro.parallel.comm.GroupComm` with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, List, Optional, Sequence
+
+_TAG_BCAST = 0x7FFF0001
+_TAG_REDUCE = 0x7FFF0002
+_TAG_GATHER = 0x7FFF0003
+_TAG_SCATTER = 0x7FFF0004
+_TAG_ALLGATHER = 0x7FFF0005
+_TAG_ALLTOALL = 0x7FFF0006
+_TAG_RDOUBLE = 0x7FFF0007
+_TAG_RSCAT = 0x7FFF0008
+
+
+def _default_op(op: Optional[Callable[[Any, Any], Any]]):
+    """Default reduction operator: addition (elementwise for arrays)."""
+    return operator.add if op is None else op
+
+
+def bcast_binomial(comm, obj: Any, root: int = 0):
+    """Binomial-tree broadcast; every member returns the broadcast object."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside group of size {size}")
+    if size == 1:
+        return obj
+    vrank = (comm.rank - root) % size
+    if vrank != 0:
+        hbit = 1 << (vrank.bit_length() - 1)
+        src = ((vrank - hbit) + root) % size
+        obj = yield from comm.recv(src, tag=_TAG_BCAST)
+    mask = 1 << vrank.bit_length() if vrank != 0 else 1
+    while mask < size:
+        child = vrank + mask
+        if child < size:
+            dest = (child + root) % size
+            yield from comm.send(dest, obj, tag=_TAG_BCAST)
+        mask <<= 1
+    return obj
+
+
+def reduce_binomial(comm, value: Any,
+                    op: Optional[Callable[[Any, Any], Any]] = None,
+                    root: int = 0):
+    """Binomial-tree reduction; returns the result at ``root``, None elsewhere.
+
+    ``op`` must be associative and commutative (default: addition).
+    """
+    size = comm.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside group of size {size}")
+    op = _default_op(op)
+    if size == 1:
+        return value
+    vrank = (comm.rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dest = ((vrank ^ mask) + root) % size
+            yield from comm.send(dest, value, tag=_TAG_REDUCE)
+            return None
+        src_v = vrank | mask
+        if src_v < size:
+            src = (src_v + root) % size
+            other = yield from comm.recv(src, tag=_TAG_REDUCE)
+            value = op(value, other)
+        mask <<= 1
+    return value
+
+
+def gather_direct(comm, value: Any, root: int = 0):
+    """Direct gather: each non-root sends one message to the root.
+
+    Returns the list of values in group-rank order at ``root``, None
+    elsewhere.
+    """
+    size = comm.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside group of size {size}")
+    if comm.rank == root:
+        out: List[Any] = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src != root:
+                out[src] = yield from comm.recv(src, tag=_TAG_GATHER)
+        return out
+    yield from comm.send(root, value, tag=_TAG_GATHER)
+    return None
+
+
+def scatter_direct(comm, values: Optional[Sequence[Any]], root: int = 0):
+    """Direct scatter from ``root``; returns this member's element."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside group of size {size}")
+    if comm.rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(
+                f"root must supply exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for dest in range(size):
+            if dest != root:
+                yield from comm.send(dest, values[dest], tag=_TAG_SCATTER)
+        return values[root]
+    value = yield from comm.recv(root, tag=_TAG_SCATTER)
+    return value
+
+
+def gather_binomial(comm, value: Any, root: int = 0):
+    """Binomial-tree gather (the "binary tree" of the convolution filter).
+
+    Data aggregates up the tree: each internal node forwards everything it
+    has collected, so the total transferred volume is ``O(N P + N log P)``
+    for per-rank payloads of size N — exactly the complexity the paper
+    quotes for the tree variant.  Returns a rank-indexed list at ``root``,
+    None elsewhere.
+    """
+    size = comm.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside group of size {size}")
+    collected = {comm.rank: value}
+    if size == 1:
+        return [value]
+    vrank = (comm.rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dest = ((vrank ^ mask) + root) % size
+            yield from comm.send(dest, collected, tag=_TAG_GATHER)
+            return None
+        src_v = vrank | mask
+        if src_v < size:
+            src = (src_v + root) % size
+            part = yield from comm.recv(src, tag=_TAG_GATHER)
+            collected.update(part)
+        mask <<= 1
+    return [collected[r] for r in range(size)]
+
+
+def allgather_ring(comm, value: Any):
+    """Ring allgather: ``P - 1`` rounds of neighbour exchange.
+
+    This is the communication pattern of the original convolution filter's
+    "processor ring" variant (paper Section 3.1): every element travels
+    all the way around the ring, giving ``P(P-1)`` messages total and an
+    aggregate volume of ``(P-1) * sum(nbytes)``.
+    """
+    size = comm.size
+    result: List[Any] = [None] * size
+    result[comm.rank] = value
+    if size == 1:
+        return result
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (comm.rank - step) % size
+        recv_idx = (comm.rank - step - 1) % size
+        received = yield from comm.sendrecv(
+            dest=right, payload=result[send_idx], source=left,
+            tag=_TAG_ALLGATHER,
+        )
+        result[recv_idx] = received
+    return result
+
+
+def alltoall_pairwise(comm, chunks: Sequence[Any]):
+    """Pairwise-exchange all-to-all: ``P - 1`` rounds of shifted sendrecv.
+
+    ``chunks[d]`` is destined for group rank ``d``; returns the received
+    chunks indexed by source rank.  This is the pattern of both the data
+    transpose in the FFT filter and the cyclic shuffle of physics
+    load-balancing scheme 1.
+    """
+    size = comm.size
+    if len(chunks) != size:
+        raise ValueError(f"need {size} chunks, got {len(chunks)}")
+    result: List[Any] = [None] * size
+    result[comm.rank] = chunks[comm.rank]
+    for shift in range(1, size):
+        dest = (comm.rank + shift) % size
+        src = (comm.rank - shift) % size
+        received = yield from comm.sendrecv(
+            dest=dest, payload=chunks[dest], source=src, tag=_TAG_ALLTOALL,
+        )
+        result[src] = received
+    return result
+
+
+def allreduce_recursive_doubling(comm, value: Any,
+                                 op: Optional[Callable[[Any, Any], Any]] = None):
+    """Recursive-doubling allreduce: ``log2 P`` rounds, no broadcast phase.
+
+    For power-of-two groups every rank exchanges with ``rank XOR 2^k``;
+    for other sizes the surplus ranks fold into the largest power-of-two
+    core first and receive the result afterwards (the standard
+    construction).  Halves the critical-path rounds of reduce+bcast for
+    small payloads — the variant modern MPI libraries choose.
+    """
+    op = _default_op(op)
+    size = comm.size
+    if size == 1:
+        return value
+    pow2 = 1
+    while pow2 * 2 <= size:
+        pow2 *= 2
+    rem = size - pow2
+    rank = comm.rank
+
+    # Fold the remainder: ranks >= pow2 send to rank - rem... pair each
+    # surplus rank r (>= pow2) with core rank r - pow2.
+    if rank >= pow2:
+        yield from comm.send(rank - pow2, value, tag=_TAG_RDOUBLE)
+        result = yield from comm.recv(rank - pow2, tag=_TAG_RDOUBLE)
+        return result
+    if rank < rem:
+        other = yield from comm.recv(rank + pow2, tag=_TAG_RDOUBLE)
+        value = op(value, other)
+
+    mask = 1
+    while mask < pow2:
+        partner = rank ^ mask
+        other = yield from comm.sendrecv(
+            dest=partner, payload=value, source=partner, tag=_TAG_RDOUBLE
+        )
+        value = op(value, other)
+        mask <<= 1
+
+    if rank < rem:
+        yield from comm.send(rank + pow2, value, tag=_TAG_RDOUBLE)
+    return value
+
+
+def reduce_scatter_ring(comm, chunks: Sequence[Any],
+                        op: Optional[Callable[[Any, Any], Any]] = None):
+    """Ring reduce-scatter: each rank ends with the reduction of chunk
+    ``rank`` over all ranks' contributions.
+
+    ``chunks[d]`` is this rank's contribution to destination ``d``.
+    ``P - 1`` rounds; the partial sum for chunk ``d`` starts at rank
+    ``d + 1`` and travels once around the ring, each rank folding in its
+    own contribution — the bandwidth-optimal first half of a ring
+    allreduce.
+    """
+    op = _default_op(op)
+    size = comm.size
+    if len(chunks) != size:
+        raise ValueError(f"need {size} chunks, got {len(chunks)}")
+    if size == 1:
+        return chunks[0]
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    acc = chunks[(comm.rank - 1) % size]
+    for step in range(size - 1):
+        recv_idx = (comm.rank - 2 - step) % size
+        received = yield from comm.sendrecv(
+            dest=right, payload=acc, source=left, tag=_TAG_RSCAT
+        )
+        acc = op(received, chunks[recv_idx])
+    return acc

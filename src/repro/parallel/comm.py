@@ -1,0 +1,196 @@
+"""Virtual communicator: the API rank programs use to talk and compute.
+
+The interface deliberately mirrors mpi4py (the domain-standard Python MPI
+binding): lowercase methods move Python objects / numpy arrays, and the
+usual collectives are available.  Every method is a *generator* — rank
+programs compose them with ``yield from``::
+
+    def program(ctx):
+        with ctx.region("halo"):
+            east = yield from ctx.sendrecv(dest=ctx.east, payload=buf, source=ctx.west)
+        yield from ctx.compute(flops=1e6)
+        total = yield from ctx.allreduce(local_sum)
+        return total
+
+Collectives are implemented on top of point-to-point sends/receives in
+:mod:`repro.parallel.collectives`, so their virtual cost is exactly the
+cost of the underlying algorithm (binomial trees, rings, pairwise
+exchanges) under the machine model — which is the property the paper's
+complexity comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.parallel import collectives as coll
+from repro.parallel.events import Barrier, Compute, Recv, Send
+from repro.parallel.machine import MachineModel
+from repro.parallel.trace import Trace
+
+#: Base tag reserved for collective traffic so user tags never collide.
+COLLECTIVE_TAG = 0x7FFF0000
+
+
+class GroupComm:
+    """A communicator over an ordered subset of global ranks.
+
+    ``ranks[i]`` is the global rank of local position ``i``; all collective
+    roots and point-to-point endpoints are expressed in local positions,
+    mirroring MPI sub-communicators.
+    """
+
+    def __init__(self, ctx: "VirtualComm", ranks: Sequence[int]):
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        if ctx.rank not in ranks:
+            raise ValueError(f"rank {ctx.rank} not a member of group {ranks}")
+        self.ctx = ctx
+        self.ranks = ranks
+        self.size = len(ranks)
+        self.rank = ranks.index(ctx.rank)
+
+    # -- point to point ----------------------------------------------------
+    def send(self, dest: int, payload: Any = None, tag: int = 0,
+             nbytes: Optional[int] = None):
+        """Send ``payload`` to local rank ``dest`` (eager, never blocks)."""
+        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes)
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive from local rank ``source``; returns the payload."""
+        payload = yield Recv(self.ranks[source], tag=tag)
+        return payload
+
+    def sendrecv(self, dest: int, payload: Any, source: int, tag: int = 0,
+                 nbytes: Optional[int] = None):
+        """Paired exchange: send to ``dest`` and receive from ``source``.
+
+        Deadlock-free under the eager-send model; returns the received
+        payload.
+        """
+        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes)
+        payload = yield Recv(self.ranks[source], tag=tag)
+        return payload
+
+    # -- synchronisation ----------------------------------------------------
+    def barrier(self, tag: int = 0):
+        """Synchronise all group members."""
+        yield Barrier(group=self.ranks, tag=tag)
+
+    # -- collectives (algorithms in repro.parallel.collectives) -------------
+    def bcast(self, obj: Any, root: int = 0):
+        """Binomial-tree broadcast from ``root``; returns the object."""
+        result = yield from coll.bcast_binomial(self, obj, root)
+        return result
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+               root: int = 0):
+        """Binomial-tree reduction to ``root`` (None elsewhere)."""
+        result = yield from coll.reduce_binomial(self, value, op, root)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None):
+        """Reduce-then-broadcast; every member returns the reduced value."""
+        result = yield from coll.reduce_binomial(self, value, op, root=0)
+        result = yield from coll.bcast_binomial(self, result, root=0)
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        """Gather one object per member to ``root`` (list in rank order)."""
+        result = yield from coll.gather_direct(self, value, root)
+        return result
+
+    def allgather(self, value: Any):
+        """Ring allgather; every member returns the full list."""
+        result = yield from coll.allgather_ring(self, value)
+        return result
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
+        """Scatter one object per member from ``root``."""
+        result = yield from coll.scatter_direct(self, values, root)
+        return result
+
+    def alltoall(self, chunks: Sequence[Any]):
+        """Pairwise-exchange all-to-all; ``chunks[d]`` goes to local rank d.
+
+        Returns the list of chunks received, indexed by source local rank.
+        """
+        result = yield from coll.alltoall_pairwise(self, chunks)
+        return result
+
+
+class VirtualComm(GroupComm):
+    """The world communicator handed to every rank program.
+
+    Adds compute charging, named trace regions and sub-group creation on
+    top of :class:`GroupComm`.
+    """
+
+    def __init__(self, rank: int, size: int, machine: MachineModel,
+                 trace: Trace):
+        self._rank = rank
+        self._size = size
+        self.machine = machine
+        self.trace = trace
+        self._state = None  # set by the scheduler; exposes the virtual clock
+        super().__init__(self, tuple(range(size)))
+
+    # GroupComm.__init__ reads ctx.rank before super() finishes, hence the
+    # underscored storage and properties.
+    @property
+    def rank(self) -> int:  # type: ignore[override]
+        return self._rank
+
+    @rank.setter
+    def rank(self, value: int) -> None:
+        # GroupComm.__init__ assigns self.rank = ranks.index(...); for the
+        # world communicator local == global so the assignment is a no-op.
+        if value != self._rank:
+            raise ValueError("world communicator rank is immutable")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self._size
+
+    @size.setter
+    def size(self, value: int) -> None:
+        if value != self._size:
+            raise ValueError("world communicator size is immutable")
+
+    # -- compute -------------------------------------------------------------
+    def compute(self, flops: float = 0.0, mem_bytes: float = 0.0,
+                seconds: Optional[float] = None,
+                inner_length: Optional[float] = None, label: str = ""):
+        """Charge compute time (explicit seconds, or priced by the machine).
+
+        ``inner_length`` exposes the loop's inner dimension to the
+        machine's vector-startup model.
+        """
+        yield Compute(flops=flops, mem_bytes=mem_bytes, seconds=seconds,
+                      inner_length=inner_length, label=label)
+
+    # -- trace regions --------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Current virtual time on this rank [s]."""
+        return self._state.clock if self._state is not None else 0.0
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Attribute the enclosed virtual time to phase ``name`` in the trace.
+
+        Elapsed time includes blocking waits, matching how the paper's
+        per-component timings were measured.
+        """
+        self.trace.open_region(self._rank, name, self.clock)
+        try:
+            yield
+        finally:
+            self.trace.close_region(self._rank, name, self.clock)
+
+    # -- groups ----------------------------------------------------------------
+    def group(self, ranks: Sequence[int]) -> GroupComm:
+        """Create a sub-communicator over ``ranks`` (must include self)."""
+        return GroupComm(self, ranks)

@@ -1,0 +1,148 @@
+"""Analytic message/volume/time formulas from the paper's complexity analysis.
+
+Section 3.1-3.2 of the paper compares four parallelisations of the polar
+filter by message count and transferred volume (``N`` = points per
+latitude line, ``P`` = processors in the *longitudinal* direction):
+
+=====================  ==================  ==========================
+algorithm              messages            data elements transferred
+=====================  ==================  ==========================
+convolution, ring      ``P log P``         ``N P``
+convolution, tree      ``O(2 P)``          ``O(N P + N log P)``
+1-D parallel FFT       ``O(log P)``        ``O(N log N)``
+transpose + local FFT  ``O(P^2)``          ``O(N)``
+=====================  ==================  ==========================
+
+(message counts per filtered line; the transpose figures are per processor
+row).  These closed forms are used for cross-checking the simulator's
+emergent counts and for fast parameter sweeps in the ablation benches.
+
+Computation costs (per filtered line of ``N`` points):
+
+* convolution (eq. 2): ``~2 N M`` flops with ``M ~ N/2`` retained
+  wavenumbers, i.e. ``O(N^2)``;
+* FFT filtering (eq. 1): forward + inverse real FFT plus the wavenumber
+  scaling, ``~ 2 * 2.5 N log2 N + 2 N`` flops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.parallel.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class CommEstimate:
+    """An analytic communication estimate.
+
+    Attributes
+    ----------
+    messages:
+        Total point-to-point messages.
+    volume_bytes:
+        Total bytes moved across the network.
+    time:
+        Critical-path time estimate [s] under the machine model.
+    """
+
+    messages: float
+    volume_bytes: float
+    time: float
+
+
+def convolution_flops(npoints: int, nwavenumbers: int) -> float:
+    """Flops to convolution-filter one line of ``npoints`` (eq. 2).
+
+    Each output point sums ``nwavenumbers`` kernel taps: one multiply and
+    one add per tap.
+    """
+    return 2.0 * npoints * nwavenumbers
+
+
+def fft_filter_flops(npoints: int) -> float:
+    """Flops to FFT-filter one line of ``npoints`` (eq. 1).
+
+    A real-to-complex FFT costs ~``2.5 N log2 N`` flops; filtering needs a
+    forward and an inverse transform plus one complex scaling pass.
+    """
+    if npoints < 2:
+        return 0.0
+    return 2 * 2.5 * npoints * math.log2(npoints) + 2.0 * npoints
+
+
+def ring_allgather_estimate(
+    nbytes_per_rank: float, nprocs: int, machine: MachineModel
+) -> CommEstimate:
+    """Cost of the ring allgather used by the convolution filter's ring form.
+
+    ``P-1`` rounds; each round every rank sends one block, so the critical
+    path is ``(P-1) * (latency + nbytes/bw)`` and the aggregate volume is
+    ``P (P-1) * nbytes``.
+    """
+    rounds = max(0, nprocs - 1)
+    per_round = machine.message_time(int(nbytes_per_rank))
+    return CommEstimate(
+        messages=nprocs * rounds,
+        volume_bytes=nprocs * rounds * nbytes_per_rank,
+        time=rounds * per_round,
+    )
+
+
+def tree_reduce_bcast_estimate(
+    nbytes: float, nprocs: int, machine: MachineModel
+) -> CommEstimate:
+    """Cost of a binomial reduce followed by broadcast of ``nbytes``.
+
+    ``2 ceil(log2 P)`` rounds on the critical path and ``2 (P-1)``
+    messages in total — the "binary tree" variant of the convolution
+    filter.
+    """
+    if nprocs <= 1:
+        return CommEstimate(0, 0.0, 0.0)
+    rounds = 2 * math.ceil(math.log2(nprocs))
+    msgs = 2 * (nprocs - 1)
+    return CommEstimate(
+        messages=msgs,
+        volume_bytes=msgs * nbytes,
+        time=rounds * machine.message_time(int(nbytes)),
+    )
+
+
+def pairwise_alltoall_estimate(
+    total_bytes_per_rank: float, nprocs: int, machine: MachineModel
+) -> CommEstimate:
+    """Cost of the pairwise all-to-all used by the transpose FFT filter.
+
+    Each rank sends ``P-1`` messages of ``total_bytes_per_rank/P`` each;
+    the critical path is the ``P-1`` sequential rounds.
+    """
+    if nprocs <= 1:
+        return CommEstimate(0, 0.0, 0.0)
+    chunk = total_bytes_per_rank / nprocs
+    rounds = nprocs - 1
+    return CommEstimate(
+        messages=nprocs * rounds,
+        volume_bytes=nprocs * rounds * chunk,
+        time=rounds * machine.message_time(int(chunk)),
+    )
+
+
+def halo_exchange_estimate(
+    edge_bytes_ew: float, edge_bytes_ns: float, machine: MachineModel
+) -> CommEstimate:
+    """Cost of one 4-neighbour ghost exchange per rank.
+
+    Two east-west messages of ``edge_bytes_ew`` and two north-south
+    messages of ``edge_bytes_ns``; the four exchanges serialise on the
+    sending rank in this model.
+    """
+    time = 2 * machine.message_time(int(edge_bytes_ew)) + 2 * machine.message_time(
+        int(edge_bytes_ns)
+    )
+    return CommEstimate(
+        messages=4,
+        volume_bytes=2 * edge_bytes_ew + 2 * edge_bytes_ns,
+        time=time,
+    )

@@ -1,0 +1,109 @@
+"""Primitive simulation operations yielded by rank programs.
+
+A rank program is a Python generator.  Whenever it needs the virtual
+machine to do something — burn compute time, send a message, receive one,
+or synchronise — it ``yield``s one of the dataclasses below to the
+scheduler.  Higher-level operations (collectives, halo exchanges,
+transposes) are composed from these four primitives so that their virtual
+cost *emerges* from the algorithm, exactly as the paper's complexity
+analysis assumes.
+
+Payload size accounting: message payloads may be numpy arrays (``nbytes``
+taken from the buffer, mirroring mpi4py's fast buffer path) or arbitrary
+picklable objects (sized by a shallow estimate).  Hot paths always use
+arrays.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort wire size of a message payload in bytes.
+
+    numpy arrays are counted exactly; small scalars/objects fall back to a
+    pickle-based estimate (mirroring mpi4py's lowercase-method path).
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, bool)) or obj is None:
+        return 8
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, (int, float, complex, bool)) for x in obj
+    ):
+        return 8 * len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+@dataclass
+class Compute:
+    """Charge compute time to the issuing rank.
+
+    Either give an explicit ``seconds`` or let the machine model convert
+    ``flops``/``mem_bytes`` via ``MachineModel.compute_time``.  ``label``
+    attributes the time to a named phase in the trace.
+    """
+
+    flops: float = 0.0
+    mem_bytes: float = 0.0
+    seconds: Optional[float] = None
+    #: Inner-loop length for the machine's vector-startup degradation.
+    inner_length: Optional[float] = None
+    label: str = ""
+
+
+@dataclass
+class Send:
+    """Eager (non-blocking-completion) message send to ``dest``.
+
+    The sender is busy for ``MachineModel.send_busy_time(nbytes)``; the
+    message arrives at the destination mailbox at
+    ``t_start + MachineModel.message_time(nbytes)``.
+    """
+
+    dest: int
+    payload: Any = None
+    tag: int = 0
+    nbytes: Optional[int] = None  # override wire size (cost-only messages)
+
+    def wire_bytes(self) -> int:
+        """Bytes charged on the wire for this message."""
+        if self.nbytes is not None:
+            return int(self.nbytes)
+        return payload_nbytes(self.payload)
+
+
+@dataclass
+class Recv:
+    """Blocking receive of one message from ``source`` with matching ``tag``.
+
+    Completion time is ``max(arrival, t_recv_posted) + recv_overhead``.
+    The scheduler delivers the payload as the value of the ``yield``.
+    """
+
+    source: int
+    tag: int = 0
+
+
+@dataclass
+class Barrier:
+    """Synchronise a group of ranks.
+
+    All members' clocks advance to ``max(member clocks) + cost`` where the
+    cost models a dissemination barrier: ``ceil(log2(n)) * latency``.
+    ``group`` is a sorted tuple of global ranks; every member must issue a
+    Barrier with the identical group and ``tag``.
+    """
+
+    group: Sequence[int] = field(default_factory=tuple)
+    tag: int = 0

@@ -1,0 +1,310 @@
+"""Discrete-event scheduler executing SPMD rank programs in virtual time.
+
+The scheduler is a conservative parallel-discrete-event engine specialised
+for the message-passing semantics the AGCM needs:
+
+* Every rank runs a deterministic generator (its "program").
+* ``Compute`` advances only the issuing rank's clock.
+* ``Send`` is *eager*: the sender is busy for its injection time and never
+  blocks; the message is timestamped with its arrival time at the
+  destination mailbox.
+* ``Recv`` blocks until a matching message (source, tag) exists; its
+  completion time is ``max(post time, arrival time) + receive overhead``;
+  the gap between post time and arrival is accounted as wait time.
+* ``Barrier`` synchronises a group: all members advance to the group's
+  maximum clock plus a dissemination-barrier cost.
+
+Ranks are advanced in ``(clock, rank)`` order, which makes runs fully
+deterministic.  A situation where no rank can progress is a genuine
+communication deadlock and raises :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import defaultdict, deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.parallel.events import Barrier, Compute, Recv, Send
+from repro.parallel.machine import MachineModel
+from repro.parallel.timeline import Event as _Event
+from repro.parallel.trace import RankAccounting, SimResult, Trace
+
+
+class DeadlockError(RuntimeError):
+    """Raised when every unfinished rank is blocked on a receive/barrier."""
+
+
+class _RankState:
+    """Mutable execution state of one rank."""
+
+    __slots__ = (
+        "rank",
+        "gen",
+        "clock",
+        "blocked",
+        "pending_recv",
+        "pending_barrier",
+        "done",
+        "retval",
+        "send_value",
+    )
+
+    def __init__(self, rank: int, gen):
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked = False
+        self.pending_recv: Optional[Tuple[int, int, float]] = None  # (src, tag, post time)
+        self.pending_barrier: Optional[Tuple[Tuple[int, ...], int]] = None
+        self.done = False
+        self.retval: Any = None
+        self.send_value: Any = None  # value to send into the generator next
+
+
+class Simulator:
+    """Runs ``nranks`` copies of a rank program over a machine model.
+
+    Parameters
+    ----------
+    nranks:
+        Number of virtual ranks.
+    machine:
+        The :class:`MachineModel` whose cost functions price every event.
+
+    Example
+    -------
+    >>> from repro.parallel.machine import GENERIC
+    >>> from repro.parallel.events import Compute
+    >>> def program(ctx):
+    ...     yield Compute(seconds=1.0)
+    ...     return ctx.rank
+    >>> sim = Simulator(2, GENERIC)
+    >>> result = sim.run(program)
+    >>> result.returns
+    [0, 1]
+    >>> result.elapsed
+    1.0
+    """
+
+    def __init__(self, nranks: int, machine: MachineModel,
+                 record_events: bool = False):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.machine = machine
+        #: When True, the trace collects per-op timeline events for the
+        #: analysis tools in repro.parallel.timeline.
+        self.record_events = record_events
+
+    # ------------------------------------------------------------------
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> SimResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank.
+
+        ``program`` must be a generator function whose first argument is a
+        :class:`repro.parallel.comm.VirtualComm` context.  Its Python
+        return value is captured per rank.
+        """
+        from repro.parallel.comm import VirtualComm  # local import: cycle
+
+        trace = Trace(self.nranks, record_events=self.record_events)
+        states: List[_RankState] = []
+        for rank in range(self.nranks):
+            ctx = VirtualComm(rank, self.nranks, self.machine, trace)
+            gen = program(ctx, *args, **kwargs)
+            state = _RankState(rank, gen)
+            ctx._state = state  # back-reference for clock access
+            states.append(state)
+
+        # mailbox[(dest, src, tag)] -> deque of (arrival_time, payload, nbytes)
+        mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, Any, int]]] = (
+            defaultdict(deque)
+        )
+        # barrier arrivals: (group, tag) -> list of ranks arrived
+        barrier_waiting: Dict[Tuple[Tuple[int, ...], int], List[int]] = defaultdict(list)
+
+        ready: List[Tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
+        heapq.heapify(ready)
+
+        finished = 0
+        while finished < self.nranks:
+            if not ready:
+                blocked = [s.rank for s in states if not s.done]
+                details = []
+                for r in blocked:
+                    s = states[r]
+                    if s.pending_recv is not None:
+                        src, tag, _ = s.pending_recv
+                        details.append(f"rank {r} waiting recv(src={src}, tag={tag})")
+                    elif s.pending_barrier is not None:
+                        details.append(f"rank {r} waiting barrier{s.pending_barrier}")
+                raise DeadlockError(
+                    "communication deadlock; blocked ranks: " + "; ".join(details)
+                )
+
+            _, rank = heapq.heappop(ready)
+            state = states[rank]
+            if state.done or state.blocked:
+                continue  # stale heap entry
+
+            # Advance this rank until it blocks or finishes.
+            while True:
+                try:
+                    op = state.gen.send(state.send_value)
+                except StopIteration as stop:
+                    state.done = True
+                    state.retval = stop.value
+                    finished += 1
+                    break
+                state.send_value = None
+
+                if isinstance(op, Compute):
+                    seconds = (
+                        op.seconds
+                        if op.seconds is not None
+                        else self.machine.compute_time(
+                            op.flops, op.mem_bytes, op.inner_length
+                        )
+                    )
+                    if seconds < 0:
+                        raise ValueError("Compute seconds must be non-negative")
+                    if trace.events is not None and seconds > 0:
+                        trace.events.append(_Event(
+                            rank, "compute", state.clock,
+                            state.clock + seconds,
+                        ))
+                    state.clock += seconds
+                    trace.ranks[rank].compute_time += seconds
+                    continue
+
+                if isinstance(op, Send):
+                    nbytes = op.wire_bytes()
+                    busy = self.machine.send_busy_time(nbytes)
+                    arrival = state.clock + self.machine.message_time(nbytes)
+                    mailbox[(op.dest, rank, op.tag)].append(
+                        (arrival, op.payload, nbytes)
+                    )
+                    if trace.events is not None:
+                        trace.events.append(_Event(
+                            rank, "send", state.clock, state.clock + busy,
+                            peer=op.dest, nbytes=nbytes,
+                        ))
+                    state.clock += busy
+                    acc = trace.ranks[rank]
+                    acc.send_busy_time += busy
+                    acc.messages_sent += 1
+                    acc.bytes_sent += nbytes
+                    # The destination may have been blocked on this message.
+                    dest_state = states[op.dest]
+                    if dest_state.blocked and dest_state.pending_recv is not None:
+                        src, tag, _post = dest_state.pending_recv
+                        if src == rank and tag == op.tag:
+                            self._complete_recv(
+                                dest_state, mailbox, trace
+                            )
+                            heapq.heappush(ready, (dest_state.clock, op.dest))
+                    continue
+
+                if isinstance(op, Recv):
+                    key = (rank, op.source, op.tag)
+                    state.pending_recv = (op.source, op.tag, state.clock)
+                    if mailbox[key]:
+                        self._complete_recv(state, mailbox, trace)
+                        continue
+                    state.blocked = True
+                    break
+
+                if isinstance(op, Barrier):
+                    group = tuple(sorted(op.group)) if op.group else tuple(
+                        range(self.nranks)
+                    )
+                    if rank not in group:
+                        raise ValueError(
+                            f"rank {rank} issued barrier for group {group} "
+                            "it does not belong to"
+                        )
+                    bkey = (group, op.tag)
+                    barrier_waiting[bkey].append(rank)
+                    if len(barrier_waiting[bkey]) == len(group):
+                        self._release_barrier(
+                            bkey, barrier_waiting, states, trace, ready
+                        )
+                        # This rank was released too; continue running it.
+                        continue
+                    state.pending_barrier = bkey
+                    state.blocked = True
+                    break
+
+                raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+
+        clocks = [s.clock for s in states]
+        return SimResult(
+            elapsed=max(clocks),
+            clocks=clocks,
+            returns=[s.retval for s in states],
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _complete_recv(
+        self,
+        state: _RankState,
+        mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, Any, int]]],
+        trace: Trace,
+    ) -> None:
+        """Deliver the head-of-queue message to a rank whose recv can finish."""
+        src, tag, post_time = state.pending_recv  # type: ignore[misc]
+        arrival, payload, nbytes = mailbox[(state.rank, src, tag)].popleft()
+        wait = max(0.0, arrival - state.clock)
+        busy = self.machine.recv_busy_time(nbytes)
+        if trace.events is not None:
+            if wait > 0:
+                trace.events.append(_Event(
+                    state.rank, "recv_wait", state.clock,
+                    state.clock + wait, peer=src,
+                ))
+            trace.events.append(_Event(
+                state.rank, "recv", state.clock + wait,
+                state.clock + wait + busy, peer=src, nbytes=nbytes,
+            ))
+        state.clock += wait + busy
+        acc = trace.ranks[state.rank]
+        acc.recv_wait_time += wait
+        acc.recv_busy_time += busy
+        acc.messages_received += 1
+        acc.bytes_received += nbytes
+        state.pending_recv = None
+        state.blocked = False
+        state.send_value = payload
+
+    def _release_barrier(
+        self,
+        bkey: Tuple[Tuple[int, ...], int],
+        barrier_waiting: Dict[Tuple[Tuple[int, ...], int], List[int]],
+        states: List[_RankState],
+        trace: Trace,
+        ready: List[Tuple[float, int]],
+    ) -> None:
+        """Advance all members of a completed barrier and unblock them."""
+        group, _tag = bkey
+        members = barrier_waiting.pop(bkey)
+        release = max(states[r].clock for r in members)
+        cost = math.ceil(math.log2(len(group))) * self.machine.latency if len(
+            group
+        ) > 1 else 0.0
+        for r in members:
+            s = states[r]
+            wait = release - s.clock
+            if trace.events is not None and wait + cost > 0:
+                trace.events.append(_Event(
+                    r, "barrier", s.clock, release + cost,
+                ))
+            s.clock = release + cost
+            trace.ranks[r].barrier_wait_time += wait + cost
+            if s.pending_barrier is not None:
+                s.pending_barrier = None
+                s.blocked = False
+                s.send_value = None
+                heapq.heappush(ready, (s.clock, r))
+        # The rank that completed the barrier in-line is handled by caller.

@@ -1,0 +1,80 @@
+"""Processor-mesh topology for the 2-D horizontal AGCM decomposition.
+
+The parallel UCLA AGCM places its ranks on an ``M x N`` logical mesh with
+``M`` processors along latitude and ``N`` along longitude (paper Section
+3.3).  Longitude is periodic (the sphere wraps around), latitude is not
+(rows end at the poles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ProcessorMesh:
+    """An ``nlat_procs x nlon_procs`` logical processor mesh.
+
+    Rank numbering is row-major: rank = ``i * nlon_procs + j`` where ``i``
+    indexes the latitude direction (0 = southernmost processor row) and
+    ``j`` the longitude direction.
+    """
+
+    nlat_procs: int
+    nlon_procs: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.nlat_procs, "nlat_procs")
+        check_positive_int(self.nlon_procs, "nlon_procs")
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks in the mesh."""
+        return self.nlat_procs * self.nlon_procs
+
+    def rank_of(self, ilat: int, jlon: int) -> int:
+        """Rank at mesh coordinates ``(ilat, jlon)``."""
+        if not (0 <= ilat < self.nlat_procs and 0 <= jlon < self.nlon_procs):
+            raise IndexError(f"coords ({ilat}, {jlon}) outside mesh {self}")
+        return ilat * self.nlon_procs + jlon
+
+    def coords_of(self, rank: int) -> Tuple[int, int]:
+        """Mesh coordinates ``(ilat, jlon)`` of a rank."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} outside mesh of size {self.size}")
+        return divmod(rank, self.nlon_procs)
+
+    def row_ranks(self, ilat: int) -> List[int]:
+        """All ranks in processor row ``ilat`` (constant latitude band)."""
+        return [self.rank_of(ilat, j) for j in range(self.nlon_procs)]
+
+    def col_ranks(self, jlon: int) -> List[int]:
+        """All ranks in processor column ``jlon`` (constant longitude band)."""
+        return [self.rank_of(i, jlon) for i in range(self.nlat_procs)]
+
+    def east_of(self, rank: int) -> int:
+        """Periodic eastern neighbour (longitude wraps around)."""
+        i, j = self.coords_of(rank)
+        return self.rank_of(i, (j + 1) % self.nlon_procs)
+
+    def west_of(self, rank: int) -> int:
+        """Periodic western neighbour."""
+        i, j = self.coords_of(rank)
+        return self.rank_of(i, (j - 1) % self.nlon_procs)
+
+    def north_of(self, rank: int) -> Optional[int]:
+        """Northern neighbour or ``None`` at the north-pole processor row."""
+        i, j = self.coords_of(rank)
+        return None if i == self.nlat_procs - 1 else self.rank_of(i + 1, j)
+
+    def south_of(self, rank: int) -> Optional[int]:
+        """Southern neighbour or ``None`` at the south-pole processor row."""
+        i, j = self.coords_of(rank)
+        return None if i == 0 else self.rank_of(i - 1, j)
+
+    def describe(self) -> str:
+        """Paper-style mesh label, e.g. ``"8 x 30"``."""
+        return f"{self.nlat_procs} x {self.nlon_procs}"

@@ -1,0 +1,176 @@
+"""Address-stream generators for the Section-3.4 layout experiments.
+
+Two storage layouts for ``m`` discrete fields on an ``n^3`` grid
+(Fortran order, first index fastest, 8-byte reals):
+
+* **separate arrays** — field ``f`` at base ``f * n^3 * 8``; element
+  (i, j, k) at ``base + 8 * (i + n*j + n^2*k)``.  Consecutive arrays are
+  whole-array-aligned, so for power-of-two sizes every field's (i, j, k)
+  maps to the *same cache set* — the conflict-miss thrashing that makes
+  the paper's separate-array stencil slow.
+* **block array** — the paper's form (6), ``f(m, idim, jdim, kdim)``:
+  element (f, i, j, k) at ``8 * (f + m*(i + n*j + n^2*k))`` — all fields'
+  values at one grid point are contiguous.
+
+Streams are produced for
+
+* the 7-point Laplace evaluation over all ``m`` fields (the paper's
+  isolated experiment: block array wins big), and
+* a "mixed advection" loop sequence where each loop touches only a small
+  subset of the fields (the paper's real advection routine: the block
+  array loses its advantage because it drags all ``m`` values through the
+  cache while using two or three).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+ITEM = 8  # bytes per real
+
+
+def _interior(n: int) -> np.ndarray:
+    """Interior indices 1..n-2 (stencils need all six neighbours)."""
+    return np.arange(1, n - 1)
+
+
+def _flat_indices(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(i, j, k) index arrays of all interior cells, i fastest."""
+    ii = _interior(n)
+    i, j, k = np.meshgrid(ii, ii, ii, indexing="ij")
+    # Fortran iteration order: i fastest, then j, then k.
+    order = np.argsort(
+        (k.ravel() * n + j.ravel()) * n + i.ravel(), kind="stable"
+    )
+    return i.ravel()[order], j.ravel()[order], k.ravel()[order]
+
+
+def _elem_separate(f: int, i, j, k, n: int, stagger_bytes: int = 0) -> np.ndarray:
+    """Byte address in the separate-arrays layout.
+
+    ``stagger_bytes`` offsets successive array bases by a non-power-of-two
+    amount, breaking the pathological same-set alignment of back-to-back
+    power-of-two arrays (real Fortran programs mix array sizes, so their
+    bases are rarely aligned; the paper's isolated *test code* used
+    identical 32^3 arrays, which is the fully aligned worst case).
+    """
+    return ITEM * (f * n**3 + i + n * j + n * n * k) + f * stagger_bytes
+
+
+def _elem_block(f: int, i, j, k, n: int, m: int) -> np.ndarray:
+    """Byte address in the block-array layout."""
+    return ITEM * (f + m * (i + n * j + n * n * k))
+
+
+_STENCIL = ((0, 0, 0), (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+            (0, 0, 1), (0, 0, -1))
+
+
+def laplace_stream_separate(n: int, m: int, stagger_lines: int = 0) -> np.ndarray:
+    """Addresses of the 7-point Laplace over ``m`` separate arrays.
+
+    Per interior cell: read the 7 stencil points of every field, then
+    write the result array (stored after the ``m`` inputs).
+    ``stagger_lines`` (cache lines of 32 B) offsets the array bases; 0
+    reproduces the paper's aligned test-code worst case.
+    """
+    i, j, k = _flat_indices(n)
+    ncell = i.size
+    per_cell = 7 * m + 1
+    stagger = stagger_lines * 32
+    out = np.empty(ncell * per_cell, dtype=np.int64)
+    col = 0
+    for f in range(m):
+        for di, dj, dk in _STENCIL:
+            out[col::per_cell] = _elem_separate(
+                f, i + di, j + dj, k + dk, n, stagger
+            )
+            col += 1
+    out[col::per_cell] = _elem_separate(m, i, j, k, n, stagger)  # result
+    return out
+
+
+def laplace_stream_block(n: int, m: int) -> np.ndarray:
+    """Addresses of the same Laplace over the block array ``f(m, i, j, k)``.
+
+    The result is stored in a separate plain array (writes to it are the
+    same in both layouts, keeping the comparison about the *reads*).
+    """
+    i, j, k = _flat_indices(n)
+    ncell = i.size
+    per_cell = 7 * m + 1
+    out = np.empty(ncell * per_cell, dtype=np.int64)
+    col = 0
+    for f in range(m):
+        for di, dj, dk in _STENCIL:
+            out[col::per_cell] = _elem_block(f, i + di, j + dj, k + dk, n, m)
+            col += 1
+    result_base = ITEM * m * n**3
+    out[col::per_cell] = result_base + ITEM * (i + n * j + n * n * k)
+    return out
+
+
+def mixed_loops_separate(
+    n: int, m: int, loops: Sequence[Sequence[int]], stagger_lines: int = 3
+) -> np.ndarray:
+    """A sequence of loops, each reading a *subset* of the separate arrays.
+
+    ``loops`` lists, per loop, the field indices it touches; every loop
+    sweeps all interior cells reading the centre point of its fields and
+    writing the result array — the structure of the real advection
+    routine's "many different types of array-processing loops which
+    reference a varying number of data arrays".
+    """
+    i, j, k = _flat_indices(n)
+    stagger = stagger_lines * 32
+    parts: List[np.ndarray] = []
+    for fields in loops:
+        per_cell = len(fields) + 1
+        seg = np.empty(i.size * per_cell, dtype=np.int64)
+        col = 0
+        for f in fields:
+            seg[col::per_cell] = _elem_separate(f, i, j, k, n, stagger)
+            col += 1
+        seg[col::per_cell] = _elem_separate(m, i, j, k, n, stagger)
+        parts.append(seg)
+    return np.concatenate(parts)
+
+
+def mixed_loops_block(
+    n: int, m: int, loops: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """The same mixed loops over the block array.
+
+    Reading 2 of ``m`` interleaved fields still pulls whole ``m``-wide
+    lines through the cache — the effect that erased the block array's
+    advantage inside the real advection routine.
+    """
+    i, j, k = _flat_indices(n)
+    result_base = ITEM * m * n**3
+    parts: List[np.ndarray] = []
+    for fields in loops:
+        per_cell = len(fields) + 1
+        seg = np.empty(i.size * per_cell, dtype=np.int64)
+        col = 0
+        for f in fields:
+            seg[col::per_cell] = _elem_block(f, i, j, k, n, m)
+            col += 1
+        seg[col::per_cell] = result_base + ITEM * (i + n * j + n * n * k)
+        parts.append(seg)
+    return np.concatenate(parts)
+
+
+#: A representative advection-routine loop mix: a dozen fields, loops
+#: touching 2-4 of them each (paper: "about a dozen three-dimensional
+#: arrays were combined into one single array").
+ADVECTION_LOOP_MIX = (
+    (0, 1), (2, 3), (0, 4, 5), (1, 6), (7, 8), (2, 9),
+    (10, 11), (3, 7, 10), (4, 8), (5, 11, 6),
+)
+
+
+def laplace_flops(n: int, m: int) -> float:
+    """Arithmetic of the 7-point Laplace over m fields (7 mul/add pairs)."""
+    return 14.0 * m * (n - 2) ** 3

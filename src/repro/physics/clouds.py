@@ -1,0 +1,68 @@
+"""Cloud diagnosis: the *unpredictable* part of the physics load.
+
+The paper stresses that "the unpredictability of the cloud distribution
+and the distribution of cumulus convection ... implies an estimation of
+computation load in each processor is required before any efficient
+load-balancing scheme can proceed".  We diagnose cloud fraction from
+relative humidity plus a deterministic pseudo-random component (a
+high-frequency trigonometric hash of position and step), so that runs are
+reproducible yet the cloud field is not predictable from the smooth state
+alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics.state import PT_REFERENCE
+
+#: Relative-humidity threshold above which cloud forms.
+RH_CLEAR = 0.55
+#: Cloud fraction above which a layer counts as "cloudy" for radiation cost.
+CLOUDY_LAYER_THRESHOLD = 0.30
+
+
+def saturation_q(pt: np.ndarray) -> np.ndarray:
+    """Saturation specific humidity for the mass-field proxy ``pt``.
+
+    A Clausius-Clapeyron-like exponential around the reference value;
+    warmer (larger pt) columns hold more moisture.
+    """
+    return 1.5e-2 * np.exp(0.05 * (np.asarray(pt) - PT_REFERENCE))
+
+
+def pseudo_noise(
+    lat_rad: np.ndarray, lon_rad: np.ndarray, step: int
+) -> np.ndarray:
+    """Deterministic noise in [-1, 1] varying with position and step.
+
+    Broadcasts ``lat x lon``-shaped inputs; a cheap trigonometric hash —
+    reproducible (no RNG state to synchronise across virtual ranks) yet
+    effectively unpredictable, mimicking the paper's cloud variability.
+    """
+    lat = np.asarray(lat_rad, dtype=float)
+    lon = np.asarray(lon_rad, dtype=float)
+    phase = 127.1 * lat + 311.7 * lon + 0.6180339887 * (step + 1)
+    return np.sin(43758.5453 * np.sin(phase))
+
+
+def cloud_fraction(
+    pt: np.ndarray, q: np.ndarray, lat_rad: np.ndarray, lon_rad: np.ndarray,
+    step: int, noise_amp: float = 0.15,
+) -> np.ndarray:
+    """Cloud fraction per column-layer, in [0, 1].
+
+    ``pt``/``q`` are (ncol, K); ``lat_rad``/``lon_rad`` are (ncol,).
+    """
+    rh = np.asarray(q) / saturation_q(pt)
+    base = np.clip((rh - RH_CLEAR) / (1.0 - RH_CLEAR), 0.0, 1.0)
+    noise = pseudo_noise(lat_rad, lon_rad, step)[:, None]
+    return np.clip(base + noise_amp * noise, 0.0, 1.0)
+
+
+def cloudy_layer_count(cf: np.ndarray) -> np.ndarray:
+    """Number of cloudy layers per column, (ncol,) ints.
+
+    This is the per-column multiplier in the radiation cost model.
+    """
+    return (cf > CLOUDY_LAYER_THRESHOLD).sum(axis=1)

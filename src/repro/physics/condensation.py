@@ -1,0 +1,84 @@
+"""Large-scale condensation and precipitation.
+
+The stable-ascent counterpart of cumulus convection: wherever the
+humidity exceeds saturation, the excess condenses, the layer is warmed by
+the latent-heat release, and the condensate precipitates out (with a
+little re-evaporation into the sub-saturated layers below).  Cost-wise
+it behaves like convection — only supersaturated columns do work — and
+thus contributes to the physics load imbalance the paper's scheme 3
+targets.
+
+Per-column cost: ``COND_TRIGGER`` always (the saturation check), plus
+``COND_PER_WET_LAYER`` for each supersaturated layer actually processed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.physics.clouds import saturation_q
+
+#: Fraction of the supersaturation removed per call.
+RAINOUT_RATE = 0.8
+#: Warming per unit of condensed moisture (latent heat in pt units).
+LATENT_FACTOR = 60.0
+#: Fraction of falling precipitation that re-evaporates into a
+#: sub-saturated layer it passes through.
+REEVAP_FRACTION = 0.1
+#: Flops for the per-column saturation sweep (always paid).
+COND_TRIGGER = 900.0
+#: Flops per supersaturated layer actually condensing.
+COND_PER_WET_LAYER = 2200.0
+
+
+def supersaturated_layers(pt: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Count of supersaturated layers per column, (ncol,) ints."""
+    return (np.asarray(q) > saturation_q(pt)).sum(axis=1)
+
+
+def large_scale_condensation(
+    pt: np.ndarray, q: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Condense supersaturation, warm the layers, rain the rest out.
+
+    Parameters
+    ----------
+    pt, q:
+        (ncol, K) profiles (layer 0 is the bottom).
+
+    Returns
+    -------
+    dpt, dq:
+        (ncol, K) increments (the driver divides by the physics interval).
+    precip:
+        (ncol,) surface precipitation in moisture units.
+    flops:
+        (ncol,) per-column cost.
+    """
+    pt = np.asarray(pt, dtype=float)
+    q = np.asarray(q, dtype=float)
+    ncol, k = pt.shape
+    qsat = saturation_q(pt)
+    excess = np.maximum(q - qsat, 0.0) * RAINOUT_RATE
+
+    dq = -excess.copy()
+    dpt = LATENT_FACTOR * excess
+
+    # Rain falls from top to bottom; a sub-saturated layer re-evaporates
+    # a fraction of what passes through (cooling + moistening it).
+    precip = np.zeros(ncol)
+    falling = np.zeros(ncol)
+    for layer in range(k - 1, -1, -1):
+        falling += excess[:, layer]
+        dry = q[:, layer] < 0.7 * qsat[:, layer]
+        take = np.where(dry, REEVAP_FRACTION * falling, 0.0)
+        dq[:, layer] += take
+        dpt[:, layer] -= LATENT_FACTOR * take
+        falling -= take
+    precip[:] = falling
+
+    wet = (excess > 0).sum(axis=1)
+    flops = COND_TRIGGER + COND_PER_WET_LAYER * wet
+    return dpt, dq, precip, flops

@@ -1,0 +1,85 @@
+"""Cumulus convective adjustment with state-dependent cost.
+
+The paper singles out "the amount of cumulus convection determined by the
+conditional stability of the atmosphere" as a physics-load driver.  Here
+a column is conditionally unstable where the mass-field proxy decreases
+with height faster than a critical lapse; such columns run an iterative
+pairwise adjustment whose iteration count — and hence cost — depends on
+how unstable they are.  Stable columns cost nothing, which concentrates
+work in the (moving, flow-dependent) convective regions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Critical inter-layer decrease of pt before an interface is unstable.
+CRITICAL_LAPSE = 0.5
+#: Fraction of an unstable difference removed per adjustment pass.
+ADJUST_RATE = 0.5
+#: Maximum adjustment passes per physics call.
+MAX_ITERATIONS = 4
+#: Flops per column-layer per adjustment pass.
+CONV_PER_ITER_LAYER = 1500.0
+#: Flops to evaluate the stability of one column (always paid).
+CONV_TRIGGER = 1650.0
+#: Moistening applied to adjusted layers (convective detrainment).
+DETRAIN_Q = 2.0e-5
+
+
+def instability_iterations(pt: np.ndarray) -> np.ndarray:
+    """Adjustment passes each column needs, (ncol,) ints in [0, MAX].
+
+    One pass per unstable interface, capped — a direct proxy for "amount
+    of cumulus convection".
+    """
+    pt = np.asarray(pt, dtype=float)
+    # pt[:, j] is layer j (bottom = 0); unstable where upper < lower - lapse.
+    unstable = (pt[:, :-1] - pt[:, 1:]) > CRITICAL_LAPSE
+    return np.minimum(unstable.sum(axis=1), MAX_ITERATIONS)
+
+
+def convective_adjustment(
+    pt: np.ndarray, q: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Adjust unstable columns toward neutrality.
+
+    Parameters
+    ----------
+    pt, q:
+        (ncol, K) profiles.
+
+    Returns
+    -------
+    dpt, dq:
+        (ncol, K) tendencies-as-increments (apply directly, not scaled by
+        dt — the driver divides by the physics interval).
+    flops:
+        (ncol,) per-column cost: trigger check plus iteration work.
+    """
+    pt = np.asarray(pt, dtype=float)
+    q = np.asarray(q, dtype=float)
+    ncol, k = pt.shape
+    iters = instability_iterations(pt)
+    work = pt.copy()
+    dq = np.zeros_like(q)
+    max_needed = int(iters.max()) if ncol else 0
+    for it in range(max_needed):
+        active = iters > it
+        if not active.any():
+            break
+        sub = work[active]
+        diff = sub[:, :-1] - sub[:, 1:] - CRITICAL_LAPSE
+        excess = np.maximum(diff, 0.0) * ADJUST_RATE
+        # Move mass-field excess upward (mixing), moisten adjusted layers.
+        sub[:, :-1] -= 0.5 * excess
+        sub[:, 1:] += 0.5 * excess
+        work[active] = sub
+        moistened = np.zeros((int(active.sum()), k))
+        moistened[:, 1:] = DETRAIN_Q * (excess > 0)
+        dq[active] += moistened
+    dpt = work - pt
+    flops = CONV_TRIGGER + CONV_PER_ITER_LAYER * k * iters
+    return dpt, dq, flops

@@ -1,0 +1,47 @@
+"""Planetary boundary layer: bulk surface fluxes (Suarez et al. 1983 spirit).
+
+The cheapest physics component: a bulk exchange of heat and moisture
+between a prescribed surface and the lowest model layer.  Cost is a small
+constant per column — it contributes to the base load but not to the
+imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dynamics.state import PT_REFERENCE
+from repro.physics.clouds import saturation_q
+
+#: Bulk exchange rate [1/s-ish, folded with drag and depth].
+EXCHANGE_RATE = 2.0e-6
+#: Flops per column.
+PBL_FLOPS = 1950.0
+#: Surface is slightly warmer than the reference atmosphere (drives flux).
+SURFACE_PT_OFFSET = 1.5
+
+
+def surface_fluxes(
+    pt: np.ndarray, q: np.ndarray, mu: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bulk heat and moisture fluxes into the lowest layer.
+
+    Daytime surfaces are warmer (solar heating of the ground), adding a
+    small diurnal signal on top of radiation's.
+
+    Returns (dpt, dq, flops) with dpt/dq shaped (ncol, K) — only layer 0
+    is touched — and flops (ncol,).
+    """
+    pt = np.asarray(pt, dtype=float)
+    q = np.asarray(q, dtype=float)
+    mu = np.asarray(mu, dtype=float)
+    ncol, k = pt.shape
+    surf_pt = PT_REFERENCE + SURFACE_PT_OFFSET + 2.0 * mu
+    dpt = np.zeros((ncol, k))
+    dq = np.zeros((ncol, k))
+    dpt[:, 0] = EXCHANGE_RATE * (surf_pt - pt[:, 0])
+    dq[:, 0] = EXCHANGE_RATE * (saturation_q(surf_pt) - q[:, 0])
+    flops = np.full(ncol, PBL_FLOPS)
+    return dpt, dq, flops

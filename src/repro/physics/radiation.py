@@ -1,0 +1,128 @@
+"""Radiative transfer: longwave (everywhere) and shortwave (daytime only).
+
+The longwave routine is one of the paper's two single-node optimisation
+targets ("a routine involved in the longwave radiation calculation from
+the Physics component"): a per-column sweep up and down the layers —
+exactly the kind of heavy local loop the paper restructures.  Here it is
+a gray two-stream exchange.
+
+Cost model (flops per column) mirrors the computation actually performed
+and feeds both the virtual machine and the load-balancer estimates:
+
+* longwave: ``LW_BASE + LW_PER_LAYER * K + LW_CLOUD_PER_LAYER * n_cloudy``
+* shortwave: ``SW_BASE + SW_PER_LAYER * K`` in daylight columns, 0 at night.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import constants as c
+from repro.dynamics.state import PT_REFERENCE
+
+LW_BASE = 5400.0
+LW_PER_LAYER = 7700.0
+LW_CLOUD_PER_LAYER = 2500.0
+SW_BASE = 3500.0
+SW_PER_LAYER = 3100.0
+
+#: Emissivity per clear layer and extra emissivity per unit cloud fraction.
+CLEAR_EMISSIVITY = 0.18
+CLOUD_EMISSIVITY = 0.45
+
+#: Radiative tendency scale [pt-units per W/m^2 per second].
+HEATING_EFFICIENCY = 3.0e-7
+
+#: Shortwave absorption per layer per unit mu.
+SW_ABSORPTION = 0.06
+
+
+def longwave_heating(
+    pt: np.ndarray, cf: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gray two-stream longwave heating rates.
+
+    Parameters
+    ----------
+    pt:
+        (ncol, K) mass-field proxy (acts as the temperature here).
+    cf:
+        (ncol, K) cloud fraction.
+
+    Returns
+    -------
+    heating:
+        (ncol, K) pt-tendency [1/s].
+    flops:
+        (ncol,) per-column arithmetic cost.
+    """
+    pt = np.asarray(pt, dtype=float)
+    cf = np.asarray(cf, dtype=float)
+    ncol, k = pt.shape
+    eps = np.clip(CLEAR_EMISSIVITY + CLOUD_EMISSIVITY * cf, 0.0, 0.95)
+    # Blackbody emission per layer: sigma * T^4 with an effective emitting
+    # temperature of 240 K at the reference pt.
+    b = c.STEFAN_BOLTZMANN * (240.0 * np.maximum(pt, 1.0) / PT_REFERENCE) ** 4
+
+    # Downward sweep: flux arriving at each layer from above.
+    down = np.zeros((ncol, k))
+    acc = np.zeros(ncol)
+    for j in range(k - 1, -1, -1):  # top (k-1) to bottom (0)
+        down[:, j] = acc
+        acc = acc * (1.0 - eps[:, j]) + eps[:, j] * b[:, j]
+    # Upward sweep: surface emits b0.
+    up = np.zeros((ncol, k))
+    acc = b[:, 0].copy()
+    for j in range(k):
+        up[:, j] = acc
+        acc = acc * (1.0 - eps[:, j]) + eps[:, j] * b[:, j]
+    # Heating = absorbed minus emitted per layer.
+    absorbed = eps * (up + down)
+    emitted = 2.0 * eps * b
+    heating = HEATING_EFFICIENCY * (absorbed - emitted)
+
+    cloudy = (cf > 0.3).sum(axis=1)
+    flops = LW_BASE + LW_PER_LAYER * k + LW_CLOUD_PER_LAYER * cloudy
+    return heating, flops
+
+
+def shortwave_heating(
+    mu: np.ndarray, q: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shortwave heating — only daylight columns do any work.
+
+    Parameters
+    ----------
+    mu:
+        (ncol,) cosine of the solar zenith angle (0 at night).
+    q:
+        (ncol, K) humidity (absorber amount).
+
+    Returns
+    -------
+    heating:
+        (ncol, K) pt-tendency [1/s].
+    flops:
+        (ncol,) cost; exactly zero for night columns, which is the
+        day/night load imbalance.
+    """
+    mu = np.asarray(mu, dtype=float)
+    q = np.asarray(q, dtype=float)
+    ncol, k = q.shape
+    heating = np.zeros((ncol, k))
+    day = mu > 0.0
+    if day.any():
+        beam = c.SOLAR_CONSTANT * mu[day]  # (nday,)
+        absorb = SW_ABSORPTION * (1.0 + 40.0 * q[day])  # more vapour, more heating
+        # Attenuate from the top layer downward.
+        remaining = beam.copy()
+        h = np.zeros((int(day.sum()), k))
+        for j in range(k - 1, -1, -1):
+            taken = remaining * np.minimum(absorb[:, j], 0.5)
+            h[:, j] = HEATING_EFFICIENCY * taken
+            remaining = remaining - taken
+        heating[day] = h
+    flops = np.where(day, SW_BASE + SW_PER_LAYER * k, 0.0)
+    return heating, flops

@@ -1,0 +1,96 @@
+"""Physics workload estimation — what the load balancer reasons about.
+
+Two estimators are provided:
+
+* :func:`column_flops` — the *exact* per-column cost of a physics call,
+  obtained from the same counters the driver uses (for analysis and
+  tests);
+* :func:`analytic_rank_load` — a closed-form expected per-rank load as a
+  function of the day/night boundary and the convective fraction, used by
+  the fast analytic model for parameter sweeps.
+
+Both express the structure the paper describes: a base cost everywhere,
+a shortwave surcharge on the daylight half, and a convection surcharge
+concentrated where the atmosphere is conditionally unstable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics import clouds as cl
+from repro.physics import condensation as cond
+from repro.physics import convection as conv
+from repro.physics import pbl
+from repro.physics import radiation as rad
+from repro.physics import solar
+from repro.physics.driver import ColumnSet, PhysicsParams
+
+
+def column_flops(
+    cols: ColumnSet,
+    time_frac: float,
+    step: int,
+    params: PhysicsParams = PhysicsParams(),
+) -> np.ndarray:
+    """Exact per-column flop counts without computing any tendencies.
+
+    Evaluates only the cheap *cost triggers* (daylight mask, cloudy-layer
+    count, instability iterations), mirroring what an estimating pass in
+    the real code would do.
+    """
+    k = cols.nlayers
+    mu = solar.cos_zenith(
+        cols.lat_rad, cols.lon_rad, time_frac, params.declination
+    )
+    cf = cl.cloud_fraction(
+        cols.pt, cols.q, cols.lat_rad, cols.lon_rad, step,
+        noise_amp=params.cloud_noise,
+    )
+    cloudy = cl.cloudy_layer_count(cf)
+    iters = conv.instability_iterations(cols.pt)
+    wet = cond.supersaturated_layers(cols.pt, cols.q)
+    lw = rad.LW_BASE + rad.LW_PER_LAYER * k + rad.LW_CLOUD_PER_LAYER * cloudy
+    sw = np.where(mu > 0, rad.SW_BASE + rad.SW_PER_LAYER * k, 0.0)
+    cv = conv.CONV_TRIGGER + conv.CONV_PER_ITER_LAYER * k * iters
+    lsc = cond.COND_TRIGGER + cond.COND_PER_WET_LAYER * wet
+    return lw + sw + cv + lsc + pbl.PBL_FLOPS
+
+
+def mean_column_flops(nlayers: int, day_fraction: float = 0.5,
+                      mean_cloudy_layers: float = 2.0,
+                      mean_conv_iterations: float = 0.8,
+                      mean_wet_layers: float = 0.3) -> float:
+    """Expected flops of an average column (analytic model input)."""
+    lw = rad.LW_BASE + rad.LW_PER_LAYER * nlayers
+    lw += rad.LW_CLOUD_PER_LAYER * mean_cloudy_layers
+    sw = day_fraction * (rad.SW_BASE + rad.SW_PER_LAYER * nlayers)
+    cv = conv.CONV_TRIGGER + (
+        conv.CONV_PER_ITER_LAYER * nlayers * mean_conv_iterations
+    )
+    lsc = cond.COND_TRIGGER + cond.COND_PER_WET_LAYER * mean_wet_layers
+    return lw + sw + cv + lsc + pbl.PBL_FLOPS
+
+
+def analytic_rank_load(
+    ncolumns: int,
+    nlayers: int,
+    day_fraction: float,
+    conv_fraction: float,
+    mean_cloudy_layers: float = 2.0,
+) -> float:
+    """Expected physics flops on a rank given its local conditions.
+
+    ``day_fraction``: fraction of the rank's columns in daylight;
+    ``conv_fraction``: fraction actively convecting (at the max iteration
+    count).  Used to build the analytic imbalance estimates cross-checked
+    against full simulations.
+    """
+    lw = rad.LW_BASE + rad.LW_PER_LAYER * nlayers
+    lw += rad.LW_CLOUD_PER_LAYER * mean_cloudy_layers
+    sw = day_fraction * (rad.SW_BASE + rad.SW_PER_LAYER * nlayers)
+    cv = conv.CONV_TRIGGER + conv_fraction * (
+        conv.CONV_PER_ITER_LAYER * nlayers * conv.MAX_ITERATIONS
+    )
+    lsc = cond.COND_TRIGGER + conv_fraction * cond.COND_PER_WET_LAYER * 2.0
+    return ncolumns * (lw + sw + cv + lsc + pbl.PBL_FLOPS)

@@ -1,0 +1,24 @@
+"""Experiment registry and paper-style table rendering."""
+
+from repro.reporting.report import generate_report, write_report
+from repro.reporting.experiments import (
+    AGCM_MESHES,
+    EXPERIMENTS,
+    FILTER_MESHES,
+    FIGURE_LOADS,
+    PHYSICS_LB_MESHES,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "generate_report",
+    "write_report",
+    "AGCM_MESHES",
+    "FILTER_MESHES",
+    "PHYSICS_LB_MESHES",
+    "FIGURE_LOADS",
+]

@@ -1,0 +1,22 @@
+"""Shared utilities: validation, block partitioning, tables, seeded RNG."""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_in_range,
+    check_shape,
+    require,
+)
+from repro.util.partition import block_partition, block_bounds, owner_of
+from repro.util.tables import Table, format_seconds
+
+__all__ = [
+    "check_positive_int",
+    "check_in_range",
+    "check_shape",
+    "require",
+    "block_partition",
+    "block_bounds",
+    "owner_of",
+    "Table",
+    "format_seconds",
+]

@@ -1,0 +1,51 @@
+"""Light-weight argument validation helpers.
+
+These keep validation terse at public API boundaries while producing
+actionable error messages.  Hot inner kernels skip validation entirely
+(see the domain guide: validate at boundaries, not in loops).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as int after checking it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be a positive integer, got {value!r}")
+        if ivalue != value:
+            raise TypeError(f"{name} must be a positive integer, got {value!r}")
+        value = ivalue
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Check ``lo <= value <= hi`` and return ``value``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_shape(array: Any, shape: Sequence[int], name: str) -> Any:
+    """Check an array-like has exactly the given shape (use -1 as wildcard)."""
+    actual = tuple(getattr(array, "shape", ()))
+    if len(actual) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {actual}"
+        )
+    for want, got in zip(shape, actual):
+        if want != -1 and want != got:
+            raise ValueError(f"{name} must have shape {tuple(shape)}, got {actual}")
+    return array

@@ -1,0 +1,63 @@
+"""Tests for the CFL analysis — the filter's raison d'etre."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.cfl import (
+    CflReport,
+    cfl_violation_rows,
+    filter_speedup_factor,
+    gravity_wave_speed,
+    max_stable_dt,
+    stable_dt_by_latitude,
+)
+from repro.grid.sphere import SphericalGrid
+
+
+class TestStableDt:
+    def test_dt_shrinks_poleward(self, paper_grid):
+        dts = stable_dt_by_latitude(paper_grid)
+        mid = paper_grid.nlat // 2
+        assert dts[0] < dts[mid] / 10
+        assert dts[-1] < dts[mid] / 10
+
+    def test_unfiltered_dt_tiny(self, paper_grid):
+        """Without filtering the global dt is set by the last row."""
+        dt = max_stable_dt(paper_grid, 90.0)
+        assert dt < 30.0  # seconds — uselessly small
+
+    def test_filtered_dt_useful(self, paper_grid):
+        dt = max_stable_dt(paper_grid, 45.0)
+        assert dt > 300.0  # several minutes
+
+    def test_speedup_factor_large(self, paper_grid):
+        """Filtering buys an order of magnitude in time step."""
+        assert filter_speedup_factor(paper_grid, 45.0) > 10
+
+    def test_no_rows_selected(self, paper_grid):
+        with pytest.raises(ValueError):
+            max_stable_dt(paper_grid, critical_lat_deg=-1.0)
+
+    def test_custom_wave_speed(self, paper_grid):
+        slow = max_stable_dt(paper_grid, 45.0, wave_speed=10.0)
+        fast = max_stable_dt(paper_grid, 45.0, wave_speed=100.0)
+        assert slow == pytest.approx(10 * fast)
+
+
+class TestViolations:
+    def test_violating_rows_polar(self, paper_grid):
+        dt = max_stable_dt(paper_grid, 45.0)
+        rows = cfl_violation_rows(paper_grid, dt)
+        lats = paper_grid.lat_deg[rows]
+        assert rows.size > 0
+        assert np.all(np.abs(lats) > 44.0)
+
+    def test_no_violations_for_tiny_dt(self, paper_grid):
+        assert cfl_violation_rows(paper_grid, 0.001).size == 0
+
+    def test_report(self, paper_grid):
+        dt = max_stable_dt(paper_grid, 45.0) * 0.5
+        rep = CflReport.for_grid(paper_grid, dt)
+        assert rep.unfiltered_dt < rep.filtered_dt_45
+        assert rep.violating_rows > 0
+        assert rep.wave_speed == pytest.approx(gravity_wave_speed())

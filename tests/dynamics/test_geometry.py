@@ -1,0 +1,62 @@
+"""Tests for local geometry metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.geometry import LocalGeometry
+from repro.grid.sphere import SphericalGrid
+
+
+class TestFullGlobe:
+    def test_padded_lengths(self, small_grid):
+        g = LocalGeometry.from_grid(small_grid)
+        n = small_grid.nlat
+        assert g.lat_c.shape == (n + 2,)
+        assert g.cos_n.shape == (n + 2,)
+        assert g.nlat_local == n
+
+    def test_polar_face_cosine_zero(self, small_grid):
+        """The face at the pole closes the meridional flux."""
+        g = LocalGeometry.from_grid(small_grid)
+        assert g.cos_n[-2] == 0.0  # north face of the last interior row
+        assert g.cos_n[-1] == 0.0  # ghost row face (clipped at the pole)
+
+    def test_cos_floored(self, small_grid):
+        g = LocalGeometry.from_grid(small_grid, cos_floor=0.05)
+        assert g.cos_c.min() >= 0.05
+
+    def test_diffusion_scale_unity_at_low_latitude(self, paper_grid):
+        g = LocalGeometry.from_grid(paper_grid)
+        mid = paper_grid.nlat // 2
+        assert g.diff_scale[mid + 1] == pytest.approx(1.0)
+
+    def test_diffusion_scale_small_at_poles(self, paper_grid):
+        """Keeps nu*dt/dx^2 bounded where dx collapses."""
+        g = LocalGeometry.from_grid(paper_grid)
+        assert g.diff_scale[1] < 0.01
+
+    def test_interior_col_shapes(self, small_grid):
+        g = LocalGeometry.from_grid(small_grid)
+        col = g.col(g.dx_c, ndim=3)
+        assert col.shape == (small_grid.nlat, 1, 1)
+
+
+class TestSubBlocks:
+    def test_block_matches_global_slice(self, paper_grid):
+        full = LocalGeometry.from_grid(paper_grid)
+        block = LocalGeometry.from_grid(paper_grid, 30, 60)
+        # Interior rows 30..59 of the block equal global rows 30..59.
+        np.testing.assert_allclose(block.lat_c[1:-1], full.lat_c[31:61])
+        np.testing.assert_allclose(block.cos_n[1:-1], full.cos_n[31:61])
+
+    def test_ghost_rows_extend_block(self, paper_grid):
+        full = LocalGeometry.from_grid(paper_grid)
+        block = LocalGeometry.from_grid(paper_grid, 30, 60)
+        assert block.lat_c[0] == pytest.approx(full.lat_c[30])
+        assert block.lat_c[-1] == pytest.approx(full.lat_c[61])
+
+    def test_invalid_block(self, small_grid):
+        with pytest.raises(ValueError):
+            LocalGeometry.from_grid(small_grid, 5, 5)
+        with pytest.raises(ValueError):
+            LocalGeometry.from_grid(small_grid, -1, 5)

@@ -1,0 +1,118 @@
+"""Tests for the finite-difference tendency kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.geometry import LocalGeometry
+from repro.dynamics.state import ModelState, PT_REFERENCE
+from repro.dynamics.tendencies import (
+    DynamicsParams,
+    compute_tendencies,
+    dynamics_flops,
+    dynamics_mem_bytes,
+)
+from repro.grid.halo import pad_with_halo
+from repro.grid.sphere import SphericalGrid
+
+
+def _padded_state(state: ModelState):
+    return {name: pad_with_halo(arr) for name, arr in state.fields().items()}
+
+
+@pytest.fixture
+def grid():
+    return SphericalGrid(16, 24)
+
+
+@pytest.fixture
+def geom(grid):
+    return LocalGeometry.from_grid(grid)
+
+
+class TestRestState:
+    def test_uniform_rest_state_stationary(self, grid, geom):
+        """No winds, uniform pt: every tendency vanishes."""
+        state = ModelState.zeros(grid.nlat, grid.nlon, 3)
+        tend = compute_tendencies(_padded_state(state), geom)
+        for name, t in tend.items():
+            np.testing.assert_allclose(t, 0.0, atol=1e-12, err_msg=name)
+
+    def test_pressure_gradient_accelerates(self, grid, geom):
+        """A zonal pt gradient drives u (geostrophic adjustment begins)."""
+        state = ModelState.zeros(grid.nlat, grid.nlon, 1)
+        state.pt[...] = PT_REFERENCE + 1.0 * np.sin(
+            2 * np.pi * np.arange(grid.nlon) / grid.nlon
+        )[None, :, None]
+        tend = compute_tendencies(
+            _padded_state(state), geom, DynamicsParams(diffusion=0.0)
+        )
+        assert np.abs(tend["u"]).max() > 0
+        np.testing.assert_allclose(tend["v"][:-1], 0.0, atol=1e-10)
+
+    def test_coriolis_turns_wind(self, grid, geom):
+        state = ModelState.zeros(grid.nlat, grid.nlon, 1)
+        state.u[...] = 10.0
+        tend = compute_tendencies(
+            _padded_state(state), geom, DynamicsParams(diffusion=0.0)
+        )
+        # Northern-hemisphere rows: f > 0, u > 0 -> dv/dt = -f u < 0.
+        north = grid.lat_deg > 10
+        assert np.all(tend["v"][north][:-1] < 0)
+
+
+class TestConservation:
+    def test_mass_conserved_by_flux_form(self, grid, geom, rng):
+        """The discrete mass integral (cos-weighted, the scheme's own
+        measure) is conserved exactly: closed poles + periodic longitude
+        + telescoping fluxes.  Diffusion uses replicated ghost rows, so
+        it conserves too."""
+        state = ModelState.baroclinic_test(grid, 3)
+        state.v[...] = rng.standard_normal(state.v.shape)
+        state.v[-1] = 0.0
+        tend = compute_tendencies(
+            _padded_state(state), geom, DynamicsParams(diffusion=0.0)
+        )
+        w = geom.cos_c[1:-1][:, None, None]  # the scheme's row weights
+        weighted = (tend["pt"] * w).sum()
+        scale = (np.abs(tend["pt"]) * w).sum()
+        assert abs(weighted) < 1e-12 * max(scale, 1e-30)
+
+    def test_diffusion_residual_small(self, grid, geom, rng):
+        """The latitude-scaled diffusion is not exactly conservative, but
+        its mass residual is negligible at default settings."""
+        state = ModelState.baroclinic_test(grid, 3)
+        state.v[...] = rng.standard_normal(state.v.shape)
+        state.v[-1] = 0.0
+        tend = compute_tendencies(_padded_state(state), geom)
+        w = geom.cos_c[1:-1][:, None, None]
+        ratio = abs((tend["pt"] * w).sum()) / (np.abs(tend["pt"]) * w).sum()
+        assert ratio < 1e-6
+
+    def test_polar_v_tendency_zero(self, grid, geom, rng):
+        state = ModelState.baroclinic_test(grid, 2)
+        tend = compute_tendencies(_padded_state(state), geom)
+        np.testing.assert_allclose(tend["v"][-1], 0.0)
+
+    def test_ps_tracks_layer_mean(self, grid, geom):
+        state = ModelState.baroclinic_test(grid, 4)
+        tend = compute_tendencies(_padded_state(state), geom)
+        expected = tend["pt"].mean(axis=2, keepdims=True)
+        np.testing.assert_allclose(
+            tend["ps"],
+            expected * (1.0e5 / PT_REFERENCE),
+            rtol=1e-12,
+        )
+
+
+class TestAccounting:
+    def test_flop_count_scale(self):
+        assert dynamics_flops(1000, 9) == pytest.approx(1550.0 * 9000)
+
+    def test_mem_bytes_positive(self):
+        assert dynamics_mem_bytes(100, 9) > 100 * 9 * 8
+
+    def test_tendencies_shapes(self, grid, geom):
+        state = ModelState.baroclinic_test(grid, 3)
+        tend = compute_tendencies(_padded_state(state), geom)
+        assert tend["u"].shape == (grid.nlat, grid.nlon, 3)
+        assert tend["ps"].shape == (grid.nlat, grid.nlon, 1)

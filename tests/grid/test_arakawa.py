@@ -1,0 +1,71 @@
+"""Tests for Arakawa C-grid staggering operators."""
+
+import numpy as np
+import pytest
+
+from repro.grid.arakawa_c import (
+    ArakawaCGrid,
+    enforce_polar_v,
+    to_u_points,
+    to_v_points,
+    u_to_centers,
+    v_to_centers,
+)
+from repro.grid.sphere import SphericalGrid
+
+
+@pytest.fixture
+def field(rng):
+    return rng.standard_normal((6, 8))
+
+
+class TestStaggering:
+    def test_uniform_field_invariant(self):
+        h = np.full((5, 6), 3.0)
+        np.testing.assert_allclose(to_u_points(h), 3.0)
+        np.testing.assert_allclose(to_v_points(h), 3.0)
+
+    def test_u_points_periodic(self, field):
+        up = to_u_points(field)
+        assert up[0, -1] == pytest.approx(0.5 * (field[0, -1] + field[0, 0]))
+
+    def test_v_points_polar_row(self, field):
+        vp = to_v_points(field)
+        np.testing.assert_allclose(vp[-1], field[-1])
+
+    def test_center_roundtrip_smooths(self, field):
+        """Stagger then unstagger is the classic 1-2-1 smoother zonally."""
+        back = u_to_centers(to_u_points(field))
+        expected = 0.25 * (
+            np.roll(field, 1, axis=1) + 2 * field + np.roll(field, -1, axis=1)
+        )
+        np.testing.assert_allclose(back, expected)
+
+    def test_v_to_centers_south_edge(self, field):
+        back = v_to_centers(field)
+        assert back[0, 0] == pytest.approx(0.5 * field[0, 0])
+
+    def test_enforce_polar_v(self, field):
+        v = field.copy()
+        out = enforce_polar_v(v)
+        assert out is v
+        np.testing.assert_allclose(v[-1], 0.0)
+
+
+class TestArakawaCGrid:
+    def test_shapes(self):
+        g = ArakawaCGrid(SphericalGrid(6, 8), nlayers=3)
+        assert g.shape2d == (6, 8)
+        assert g.shape3d == (6, 8, 3)
+        assert g.zeros3d().shape == (6, 8, 3)
+
+    def test_metric_broadcast_shapes(self):
+        g = ArakawaCGrid(SphericalGrid(6, 8), nlayers=2)
+        assert g.cos_lat_col.shape == (6, 1)
+        assert g.dx.shape == (6, 1)
+        assert g.coriolis_col.shape == (6, 1)
+        assert np.isscalar(g.dy) or g.dy > 0
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            ArakawaCGrid(SphericalGrid(6, 8), nlayers=0)

@@ -1,0 +1,89 @@
+"""Tests for the 2-D domain decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.decomposition import Decomposition2D
+from repro.parallel.topology import ProcessorMesh
+
+
+class TestSubdomains:
+    def test_blocks_tile_grid(self):
+        decomp = Decomposition2D(10, 12, ProcessorMesh(3, 4))
+        covered = np.zeros((10, 12), dtype=int)
+        for sub in decomp.subdomains():
+            covered[sub.lat_slice, sub.lon_slice] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_paper_mesh_8x30(self):
+        """The paper's 8x30 mesh over the 90 x 144 grid is uneven."""
+        decomp = Decomposition2D(90, 144, ProcessorMesh(8, 30))
+        sizes = {s.shape for s in decomp.subdomains()}
+        assert len(sizes) > 1  # uneven blocks exist
+        assert sum(s.nlat * s.nlon for s in decomp.subdomains()) == 90 * 144
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            Decomposition2D(2, 2, ProcessorMesh(3, 3))
+
+    def test_owner_of_point(self):
+        decomp = Decomposition2D(10, 12, ProcessorMesh(3, 4))
+        for glat in range(10):
+            for glon in range(12):
+                rank = decomp.owner_of_point(glat, glon)
+                sub = decomp.subdomain(rank)
+                assert sub.lat0 <= glat < sub.lat1
+                assert sub.lon0 <= glon < sub.lon1
+
+    def test_proc_row_bounds(self):
+        decomp = Decomposition2D(10, 12, ProcessorMesh(3, 4))
+        lo, hi = decomp.lat_bounds_of_proc_row(0)
+        assert lo == 0
+        assert decomp.lat_bounds_of_proc_row(2)[1] == 10
+
+
+class TestScatterGather:
+    @given(
+        nlat=st.integers(4, 20),
+        nlon=st.integers(4, 20),
+        m=st.integers(1, 4),
+        n=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, nlat, nlon, m, n):
+        if nlat < m or nlon < n:
+            return
+        decomp = Decomposition2D(nlat, nlon, ProcessorMesh(m, n))
+        field = np.arange(nlat * nlon * 2, dtype=float).reshape(nlat, nlon, 2)
+        blocks = decomp.scatter(field)
+        back = decomp.gather(blocks)
+        np.testing.assert_array_equal(back, field)
+
+    def test_scatter_copies(self):
+        decomp = Decomposition2D(6, 8, ProcessorMesh(2, 2))
+        field = np.zeros((6, 8))
+        blocks = decomp.scatter(field)
+        blocks[0][...] = 99
+        assert field[0, 0] == 0.0
+
+    def test_scatter_shape_mismatch(self):
+        decomp = Decomposition2D(6, 8, ProcessorMesh(2, 2))
+        with pytest.raises(ValueError):
+            decomp.scatter(np.zeros((5, 8)))
+
+    def test_gather_wrong_block_count(self):
+        decomp = Decomposition2D(6, 8, ProcessorMesh(2, 2))
+        with pytest.raises(ValueError):
+            decomp.gather([np.zeros((3, 4))])
+
+    def test_gather_wrong_block_shape(self):
+        decomp = Decomposition2D(6, 8, ProcessorMesh(2, 2))
+        blocks = decomp.scatter(np.zeros((6, 8)))
+        blocks[1] = np.zeros((2, 4))
+        with pytest.raises(ValueError):
+            decomp.gather(blocks)
+
+    def test_counts(self):
+        decomp = Decomposition2D(6, 8, ProcessorMesh(2, 2))
+        assert sum(decomp.counts().values()) == 48

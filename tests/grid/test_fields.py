@@ -1,0 +1,82 @@
+"""Tests for FieldSet layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.fields import BLOCK, SEPARATE, FieldSet
+
+
+class TestConstruction:
+    def test_separate_layout(self):
+        fs = FieldSet(["a", "b"], (3, 4), layout=SEPARATE)
+        assert fs["a"].shape == (3, 4)
+        assert "a" in fs and "c" not in fs
+        assert len(fs) == 2
+
+    def test_block_layout_views(self):
+        fs = FieldSet(["a", "b"], (3, 4), layout=BLOCK)
+        fs["a"][0, 0] = 7.0
+        assert fs.block_view()[0, 0, 0] == 7.0
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            FieldSet(["a", "a"], (2, 2))
+
+    def test_empty_names(self):
+        with pytest.raises(ValueError):
+            FieldSet([], (2, 2))
+
+    def test_bad_layout(self):
+        with pytest.raises(ValueError):
+            FieldSet(["a"], (2, 2), layout="diagonal")
+
+    def test_block_view_requires_block(self):
+        fs = FieldSet(["a"], (2, 2), layout=SEPARATE)
+        with pytest.raises(ValueError):
+            fs.block_view()
+
+
+class TestAssignment:
+    def test_setitem_copies(self, rng):
+        fs = FieldSet(["a"], (3, 4))
+        data = rng.standard_normal((3, 4))
+        fs["a"] = data
+        data[0, 0] = 999
+        assert fs["a"][0, 0] != 999
+
+    def test_setitem_shape_checked(self):
+        fs = FieldSet(["a"], (3, 4))
+        with pytest.raises(ValueError):
+            fs["a"] = np.zeros((4, 3))
+
+
+class TestLayoutConversion:
+    @given(layout=st.sampled_from([SEPARATE, BLOCK]))
+    @settings(max_examples=4, deadline=None)
+    def test_roundtrip(self, layout):
+        rng = np.random.default_rng(0)
+        fs = FieldSet(["u", "v", "pt"], (4, 5, 2), layout=layout)
+        fs.fill_random(rng)
+        other_layout = BLOCK if layout == SEPARATE else SEPARATE
+        converted = fs.to_layout(other_layout)
+        assert converted.layout == other_layout
+        assert fs.allclose(converted)
+        back = converted.to_layout(layout)
+        assert fs.allclose(back)
+
+    def test_copy_independent(self, rng):
+        fs = FieldSet(["a"], (2, 2))
+        fs.fill_random(rng)
+        cp = fs.copy()
+        cp["a"][0, 0] += 1
+        assert not fs.allclose(cp)
+
+    def test_nbytes(self):
+        fs = FieldSet(["a", "b"], (10, 10))
+        assert fs.nbytes == 2 * 100 * 8
+
+    def test_allclose_name_mismatch(self):
+        a = FieldSet(["x"], (2, 2))
+        b = FieldSet(["y"], (2, 2))
+        assert not a.allclose(b)

@@ -1,0 +1,84 @@
+"""Tests for the byte-order reversal routine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.io.byteorder import (
+    BIG,
+    LITTLE,
+    convert_record,
+    encode_record,
+    native_order,
+    reinterpret_swapped,
+    swap_bytes,
+)
+
+
+class TestSwap:
+    def test_swap_preserves_values(self):
+        a = np.array([1.5, -2.25, 1e300])
+        swapped = swap_bytes(a)
+        np.testing.assert_array_equal(swapped, a)
+        assert swapped.dtype.byteorder != a.dtype.byteorder or a.dtype.byteorder == "|"
+
+    def test_double_swap_identity(self):
+        a = np.arange(10, dtype=np.float32)
+        np.testing.assert_array_equal(swap_bytes(swap_bytes(a)), a)
+
+    def test_reinterpret_changes_values(self):
+        a = np.array([1.0])  # asymmetric byte pattern
+        assert reinterpret_swapped(a)[0] != a[0]
+
+    def test_reinterpret_same_bytes(self):
+        a = np.array([3.7, -1.2])
+        assert reinterpret_swapped(a).tobytes() == a.tobytes()
+
+
+class TestRecords:
+    @pytest.mark.parametrize("order", [BIG, LITTLE])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32])
+    def test_roundtrip(self, rng, order, dtype):
+        if np.dtype(dtype).kind == "f":
+            data = rng.standard_normal(20).astype(dtype)
+        else:
+            data = rng.integers(-1000, 1000, 20).astype(dtype)
+        raw = encode_record(data, target_order=order)
+        back = convert_record(raw, dtype, source_order=order)
+        np.testing.assert_array_equal(back, data)
+        assert back.dtype.byteorder in ("=", "|", native_order())
+
+    def test_paragon_scenario(self):
+        """Big-endian workstation history read on a little-endian node."""
+        history = np.linspace(900.0, 1100.0, 12)
+        raw = encode_record(history, target_order=BIG)
+        decoded = convert_record(raw, np.float64, source_order=BIG)
+        np.testing.assert_array_equal(decoded, history)
+        # Without conversion the values are garbage.
+        garbage = np.frombuffer(raw, dtype=np.float64)
+        if native_order() == LITTLE:
+            assert not np.allclose(garbage, history)
+
+    def test_count_limits_record(self):
+        raw = encode_record(np.arange(10.0), target_order=BIG)
+        head = convert_record(raw, np.float64, count=3, source_order=BIG)
+        np.testing.assert_array_equal(head, [0.0, 1.0, 2.0])
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            convert_record(b"", np.float64, source_order="?")
+        with pytest.raises(ValueError):
+            encode_record(np.zeros(1), target_order="x")
+
+    @given(
+        data=arrays(np.float64, st.integers(0, 50),
+                    elements=st.floats(allow_nan=False, width=64)),
+        order=st.sampled_from([BIG, LITTLE]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data, order):
+        raw = encode_record(data, target_order=order)
+        np.testing.assert_array_equal(
+            convert_record(raw, np.float64, source_order=order), data
+        )

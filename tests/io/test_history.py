@@ -1,0 +1,87 @@
+"""Tests for history files."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import ModelState
+from repro.grid.sphere import SphericalGrid
+from repro.io.history import HistoryMetadata, HistoryReader, HistoryWriter
+from repro.model.agcm import AGCM
+from repro.model.config import make_config
+
+
+@pytest.fixture
+def meta():
+    return HistoryMetadata(nlat=8, nlon=12, nlayers=2, dt=600.0,
+                           description="test run")
+
+
+class TestMetadata:
+    def test_json_roundtrip(self, meta):
+        back = HistoryMetadata.from_json(meta.to_json())
+        assert back == meta
+
+
+class TestWriterReader:
+    def test_roundtrip(self, tmp_path, meta):
+        grid = SphericalGrid(8, 12)
+        writer = HistoryWriter(tmp_path / "hist.npz", meta)
+        states = []
+        for step in range(3):
+            s = ModelState.baroclinic_test(grid, 2, seed=step)
+            s.time = step * 600.0
+            writer.append(s)
+            states.append(s)
+        assert len(writer) == 3
+        path = writer.save()
+
+        reader = HistoryReader(path)
+        assert len(reader) == 3
+        assert reader.metadata == meta
+        for i, want in enumerate(states):
+            got = reader.snapshot(i)
+            assert got.time == want.time
+            for name, arr in want.fields().items():
+                np.testing.assert_array_equal(getattr(got, name), arr)
+
+    def test_negative_index(self, tmp_path, meta):
+        grid = SphericalGrid(8, 12)
+        writer = HistoryWriter(tmp_path / "h.npz", meta)
+        for step in range(2):
+            s = ModelState.baroclinic_test(grid, 2, seed=step)
+            s.time = float(step)
+            writer.append(s)
+        reader = HistoryReader(writer.save())
+        assert reader.snapshot(-1).time == reader.last().time == 1.0
+
+    def test_out_of_range(self, tmp_path, meta):
+        grid = SphericalGrid(8, 12)
+        writer = HistoryWriter(tmp_path / "h.npz", meta)
+        writer.append(ModelState.baroclinic_test(grid, 2))
+        reader = HistoryReader(writer.save())
+        with pytest.raises(IndexError):
+            reader.snapshot(5)
+
+    def test_shape_mismatch_rejected(self, tmp_path, meta):
+        writer = HistoryWriter(tmp_path / "h.npz", meta)
+        wrong = ModelState.zeros(9, 12, 2)
+        with pytest.raises(ValueError):
+            writer.append(wrong)
+
+    def test_restart_from_snapshot(self, tmp_path):
+        """A model restarted from a saved snapshot continues finitely and
+        from the recorded time."""
+        cfg = make_config("tiny")
+        model = AGCM(cfg)
+        model.initialize()
+        model.run(4)
+        meta = HistoryMetadata(cfg.nlat, cfg.nlon, cfg.nlayers, model.dt)
+        writer = HistoryWriter(tmp_path / "restart.npz", meta)
+        writer.append(model.state)
+        reader = HistoryReader(writer.save())
+
+        restarted = AGCM(cfg)
+        restarted.initialize(reader.last())
+        assert restarted.state.time == pytest.approx(4 * model.dt)
+        restarted.run(3)
+        assert restarted.is_stable()

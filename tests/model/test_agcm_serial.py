@@ -1,0 +1,95 @@
+"""Tests for the serial AGCM driver."""
+
+import numpy as np
+import pytest
+
+from repro.model.agcm import AGCM
+from repro.model.config import make_config
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    model = AGCM(make_config("tiny"))
+    model.initialize()
+    model.run(12)
+    return model
+
+
+class TestLifecycle:
+    def test_requires_initialize(self):
+        model = AGCM(make_config("tiny"))
+        with pytest.raises(RuntimeError):
+            model.step()
+        with pytest.raises(RuntimeError):
+            _ = model.state
+
+    def test_run_advances_time(self, short_run):
+        assert short_run.state.time == pytest.approx(12 * short_run.dt)
+        assert len(short_run.diagnostics) == 12
+
+    def test_stable_and_finite(self, short_run):
+        assert short_run.is_stable()
+        assert short_run.state.is_finite()
+
+    def test_physics_cadence(self, short_run):
+        ran = [d.physics_ran for d in short_run.diagnostics]
+        every = short_run.config.physics_every
+        assert ran[0] is True
+        for i, r in enumerate(ran):
+            assert r == (i % every == 0)
+
+    def test_physics_flops_recorded(self, short_run):
+        phys = [d for d in short_run.diagnostics if d.physics_ran]
+        assert all(d.physics_flops > 0 for d in phys)
+
+
+class TestPhysicalBehaviour:
+    def test_mass_nearly_conserved(self, short_run):
+        masses = [d.total_mass for d in short_run.diagnostics]
+        drift = abs(masses[-1] - masses[0]) / masses[0]
+        assert drift < 1e-3
+
+    def test_deterministic_runs(self):
+        cfg = make_config("tiny")
+        a = AGCM(cfg)
+        a.initialize()
+        a.run(6)
+        b = AGCM(cfg)
+        b.initialize()
+        b.run(6)
+        for name, arr in a.state.fields().items():
+            np.testing.assert_array_equal(arr, getattr(b.state, name))
+
+    def test_seed_changes_solution(self):
+        a = AGCM(make_config("tiny"))
+        a.initialize()
+        a.run(3)
+        b = AGCM(make_config("tiny", seed=11))
+        b.initialize()
+        b.run(3)
+        assert not np.allclose(a.state.pt, b.state.pt)
+
+    def test_filter_actually_engaged(self):
+        """Disabling the CFL-respecting setup must change the solution:
+        run with the filter backend replaced by identity rows (weak test:
+        compare filtered tendencies vs unfiltered)."""
+        from repro.core.parallel_filter import apply_serial_filter
+
+        model = AGCM(make_config("tiny"))
+        model.initialize()
+        model.run(2)
+        tend = model._tendencies(model.state)
+        before = {k: v.copy() for k, v in tend.items()}
+        model._filter_tendencies(tend)
+        changed = any(
+            not np.allclose(before[k], tend[k]) for k in ("u", "v", "pt")
+        )
+        assert changed
+
+    def test_reinitialize_resets(self, short_run):
+        model = AGCM(make_config("tiny"))
+        model.initialize()
+        model.run(3)
+        model.initialize()
+        assert model.state.time == 0.0
+        assert model.diagnostics == []

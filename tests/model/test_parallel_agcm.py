@@ -1,0 +1,108 @@
+"""Serial vs parallel AGCM equivalence — the central integration test."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Decomposition2D
+from repro.model.agcm import AGCM
+from repro.model.config import make_config
+from repro.model.parallel_agcm import agcm_rank_program
+from repro.parallel import PARAGON, T3D, ProcessorMesh, Simulator
+
+NSTEPS = 9  # two physics calls on the tiny config (every 4 steps)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    cfg = make_config("tiny")
+    model = AGCM(cfg)
+    model.initialize()
+    model.run(NSTEPS)
+    return cfg, model.state.fields()
+
+
+def _gather_fields(cfg, dims, res, decomp):
+    mesh_size = decomp.mesh.size
+    return {
+        name: decomp.gather(
+            [res.returns[r]["fields"][name] for r in range(mesh_size)]
+        )
+        for name in ("u", "v", "pt", "ps", "q")
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "backend", ["convolution-ring", "convolution-tree", "fft", "fft-lb"]
+    )
+    @pytest.mark.parametrize("dims", [(1, 1), (2, 3)])
+    def test_parallel_matches_serial(self, serial_reference, backend, dims):
+        cfg, ref = serial_reference
+        cfg2 = cfg.with_(filter_backend=backend)
+        mesh = ProcessorMesh(*dims)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        res = Simulator(mesh.size, PARAGON).run(
+            agcm_rank_program, cfg2, decomp, NSTEPS, True
+        )
+        gathered = _gather_fields(cfg2, dims, res, decomp)
+        for name, want in ref.items():
+            np.testing.assert_allclose(
+                gathered[name], want, atol=1e-10,
+                err_msg=f"{backend} {dims} field {name}",
+            )
+
+    def test_physics_lb_preserves_solution(self, serial_reference):
+        """Moving columns between ranks must not change any result."""
+        cfg, ref = serial_reference
+        cfg2 = cfg.with_(physics_lb=True)
+        mesh = ProcessorMesh(3, 2)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        res = Simulator(mesh.size, PARAGON).run(
+            agcm_rank_program, cfg2, decomp, NSTEPS, True
+        )
+        gathered = _gather_fields(cfg2, (3, 2), res, decomp)
+        for name, want in ref.items():
+            np.testing.assert_allclose(gathered[name], want, atol=1e-10)
+        moved = sum(r["columns_moved"] for r in res.returns)
+        assert moved > 0  # the balancer really ran
+
+    def test_machine_does_not_change_results(self, serial_reference):
+        """Timing model and numerics are orthogonal."""
+        cfg, ref = serial_reference
+        mesh = ProcessorMesh(2, 2)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        res_p = Simulator(4, PARAGON).run(
+            agcm_rank_program, cfg, decomp, NSTEPS, True
+        )
+        res_t = Simulator(4, T3D).run(
+            agcm_rank_program, cfg, decomp, NSTEPS, True
+        )
+        for r in range(4):
+            for name in ("u", "pt"):
+                np.testing.assert_array_equal(
+                    res_p.returns[r]["fields"][name],
+                    res_t.returns[r]["fields"][name],
+                )
+        assert res_t.elapsed < res_p.elapsed  # but the T3D is faster
+
+
+class TestTraceStructure:
+    def test_phases_recorded(self, serial_reference):
+        cfg, _ = serial_reference
+        mesh = ProcessorMesh(2, 2)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        res = Simulator(4, PARAGON).run(agcm_rank_program, cfg, decomp, 4)
+        phases = res.trace.phases()
+        for name in ("dynamics", "physics", "filtering", "halo", "fd", "update"):
+            assert name in phases
+
+    def test_summaries(self, serial_reference):
+        cfg, _ = serial_reference
+        mesh = ProcessorMesh(2, 2)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        res = Simulator(4, PARAGON).run(agcm_rank_program, cfg, decomp, 5)
+        for r, summary in enumerate(res.returns):
+            assert summary["rank"] == r
+            assert summary["steps"] == 5
+            assert summary["finite"]
+            assert summary["physics_calls"] == 2  # steps 0 and 4

@@ -1,0 +1,112 @@
+"""Tests for the extended collectives (recursive doubling, reduce-scatter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import GENERIC, Simulator
+from repro.parallel import collectives as coll
+
+
+def run(nranks, program):
+    return Simulator(nranks, GENERIC).run(program)
+
+
+class TestRecursiveDoubling:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6, 7, 8, 12, 13])
+    def test_sum_everywhere(self, size):
+        def program(ctx):
+            return (yield from coll.allreduce_recursive_doubling(
+                ctx, ctx.rank + 1
+            ))
+
+        res = run(size, program)
+        assert res.returns == [size * (size + 1) // 2] * size
+
+    def test_array_payloads(self):
+        def program(ctx):
+            v = np.full(4, float(ctx.rank))
+            out = yield from coll.allreduce_recursive_doubling(ctx, v)
+            return out.tolist()
+
+        res = run(6, program)
+        assert res.returns == [[15.0] * 4] * 6
+
+    def test_custom_op(self):
+        def program(ctx):
+            return (yield from coll.allreduce_recursive_doubling(
+                ctx, ctx.rank, op=max
+            ))
+
+        assert run(5, program).returns == [4] * 5
+
+    def test_fewer_rounds_than_reduce_bcast(self):
+        """For power-of-two groups: log P rounds vs 2 log P."""
+
+        def rd(ctx):
+            yield from coll.allreduce_recursive_doubling(ctx, 1.0)
+
+        def rb(ctx):
+            yield from ctx.allreduce(1.0)
+
+        t_rd = run(8, rd).elapsed
+        t_rb = run(8, rb).elapsed
+        assert t_rd < t_rb
+
+    @given(size=st.integers(1, 16), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_tree_allreduce(self, size, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(size)
+
+        def program(ctx):
+            a = yield from coll.allreduce_recursive_doubling(
+                ctx, values[ctx.rank]
+            )
+            b = yield from ctx.allreduce(values[ctx.rank])
+            return (a, b)
+
+        res = run(size, program)
+        for a, b in res.returns:
+            assert a == pytest.approx(b, rel=1e-12)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_each_rank_gets_its_chunk(self, size):
+        def program(ctx):
+            chunks = [float(ctx.rank * 10 + d) for d in range(ctx.size)]
+            return (yield from coll.reduce_scatter_ring(ctx, chunks))
+
+        res = run(size, program)
+        for d in range(size):
+            want = float(sum(r * 10 + d for r in range(size)))
+            assert res.returns[d] == want
+
+    def test_array_chunks(self):
+        def program(ctx):
+            chunks = [np.full(3, float(ctx.rank + d)) for d in range(ctx.size)]
+            out = yield from coll.reduce_scatter_ring(ctx, chunks)
+            return out.tolist()
+
+        res = run(4, program)
+        for d in range(4):
+            want = float(sum(r + d for r in range(4)))
+            assert res.returns[d] == [want] * 3
+
+    def test_chunk_count_validated(self):
+        def program(ctx):
+            yield from coll.reduce_scatter_ring(ctx, [1.0])
+
+        with pytest.raises(ValueError):
+            run(3, program)
+
+    def test_linear_messages(self):
+        """P (P-1) messages total — each rank sends once per round."""
+
+        def program(ctx):
+            chunks = [np.zeros(16) for _ in range(ctx.size)]
+            yield from coll.reduce_scatter_ring(ctx, chunks)
+
+        res = run(6, program)
+        assert res.trace.total_messages() == 6 * 5

@@ -1,0 +1,69 @@
+"""Tests for the analytic communication/computation cost formulas."""
+
+import pytest
+
+from repro.parallel import GENERIC, Simulator
+from repro.parallel.costs import (
+    convolution_flops,
+    fft_filter_flops,
+    halo_exchange_estimate,
+    pairwise_alltoall_estimate,
+    ring_allgather_estimate,
+    tree_reduce_bcast_estimate,
+)
+
+
+class TestKernelFlops:
+    def test_convolution_quadratic(self):
+        assert convolution_flops(100, 50) == 2 * 100 * 50
+
+    def test_fft_n_log_n(self):
+        f1 = fft_filter_flops(128)
+        f2 = fft_filter_flops(256)
+        # doubling N slightly more than doubles the cost
+        assert 2.0 < f2 / f1 < 2.4
+
+    def test_fft_trivial_line(self):
+        assert fft_filter_flops(1) == 0.0
+
+    def test_convolution_beats_fft_asymptotically(self):
+        n = 1024
+        assert convolution_flops(n, n // 2) > fft_filter_flops(n)
+
+
+class TestCommEstimates:
+    def test_ring_matches_simulation(self):
+        """The analytic ring estimate matches emergent simulator counts."""
+        nranks, nbytes = 6, 256
+
+        def program(ctx):
+            import numpy as np
+
+            yield from ctx.allgather(np.zeros(nbytes // 8))
+
+        res = Simulator(nranks, GENERIC).run(program)
+        est = ring_allgather_estimate(nbytes, nranks, GENERIC)
+        assert res.trace.total_messages() == est.messages
+        assert res.trace.total_bytes() == est.volume_bytes
+
+    def test_tree_message_count(self):
+        est = tree_reduce_bcast_estimate(100, 8, GENERIC)
+        assert est.messages == 2 * 7
+
+    def test_tree_single_rank_free(self):
+        est = tree_reduce_bcast_estimate(100, 1, GENERIC)
+        assert est.time == 0.0 and est.messages == 0
+
+    def test_pairwise_alltoall_counts(self):
+        est = pairwise_alltoall_estimate(1000, 5, GENERIC)
+        assert est.messages == 5 * 4
+
+    def test_halo_four_messages(self):
+        est = halo_exchange_estimate(100, 200, GENERIC)
+        assert est.messages == 4
+        assert est.volume_bytes == 600
+
+    def test_ring_time_grows_with_ranks(self):
+        t4 = ring_allgather_estimate(100, 4, GENERIC).time
+        t8 = ring_allgather_estimate(100, 8, GENERIC).time
+        assert t8 > t4

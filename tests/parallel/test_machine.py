@@ -1,0 +1,96 @@
+"""Tests for machine cost models."""
+
+import pytest
+
+from repro.parallel.machine import (
+    GENERIC,
+    PARAGON,
+    SP2,
+    T3D,
+    MachineModel,
+    available_machines,
+    make_machine,
+)
+
+
+class TestPresets:
+    def test_all_presets_resolvable(self):
+        for name in available_machines():
+            assert make_machine(name).name == name
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            make_machine("cm5")
+
+    def test_lookup_case_insensitive(self):
+        assert make_machine("T3D") is T3D
+
+    def test_t3d_faster_than_paragon(self):
+        """The paper's 2.5x observation comes from the flop-rate ratio."""
+        assert T3D.flop_rate / PARAGON.flop_rate == pytest.approx(2.5)
+        assert T3D.latency < PARAGON.latency
+
+    def test_paragon_relative_miss_cost_higher(self):
+        """Paragon loses more to cache misses (the 5x vs 2.6x block-array gap)."""
+        paragon_flops_per_miss = PARAGON.cache_miss_penalty * PARAGON.flop_rate
+        t3d_flops_per_miss = T3D.cache_miss_penalty * T3D.flop_rate
+        assert paragon_flops_per_miss > t3d_flops_per_miss
+
+
+class TestCostFunctions:
+    def test_message_time_linear_in_bytes(self):
+        t1 = GENERIC.message_time(1000)
+        t2 = GENERIC.message_time(2000)
+        assert t2 - t1 == pytest.approx(1000 / GENERIC.bandwidth)
+
+    def test_message_time_has_latency_floor(self):
+        assert GENERIC.message_time(0) == GENERIC.latency
+
+    def test_compute_time_flop_bound(self):
+        assert GENERIC.compute_time(flops=GENERIC.flop_rate) == pytest.approx(1.0)
+
+    def test_compute_time_memory_bound(self):
+        t = GENERIC.compute_time(flops=1.0, mem_bytes=GENERIC.mem_bandwidth)
+        assert t == pytest.approx(1.0)
+
+    def test_vector_startup_degrades_short_loops(self):
+        long = PARAGON.compute_time(1e6, inner_length=1000)
+        short = PARAGON.compute_time(1e6, inner_length=5)
+        assert short > long
+        expected = (5 + PARAGON.vector_startup) / 5
+        assert short / PARAGON.compute_time(1e6) == pytest.approx(expected)
+
+    def test_vector_startup_zero_on_generic(self):
+        assert GENERIC.compute_time(1e6, inner_length=2) == pytest.approx(
+            GENERIC.compute_time(1e6)
+        )
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            GENERIC.compute_time(-1)
+
+    def test_bad_inner_length_rejected(self):
+        with pytest.raises(ValueError):
+            GENERIC.compute_time(1.0, inner_length=0)
+
+    def test_send_busy_less_than_message_time(self):
+        assert PARAGON.send_busy_time(1024) <= PARAGON.message_time(1024)
+
+
+class TestValidation:
+    def test_overrides(self):
+        m = GENERIC.with_overrides(latency=1e-3)
+        assert m.latency == 1e-3
+        assert m.bandwidth == GENERIC.bandwidth
+
+    def test_bad_overhead(self):
+        with pytest.raises(ValueError):
+            GENERIC.with_overrides(overhead=GENERIC.latency * 2)
+
+    def test_bad_cache_geometry(self):
+        with pytest.raises(ValueError):
+            GENERIC.with_overrides(cache_size=1000)  # not line*assoc multiple
+
+    def test_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            GENERIC.with_overrides(flop_rate=0)

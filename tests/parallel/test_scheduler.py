@@ -1,0 +1,254 @@
+"""Tests for the discrete-event SPMD scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Barrier,
+    Compute,
+    DeadlockError,
+    GENERIC,
+    Recv,
+    Send,
+    Simulator,
+)
+
+
+class TestCompute:
+    def test_explicit_seconds(self):
+        def program(ctx):
+            yield Compute(seconds=2.5)
+            return ctx.rank
+
+        res = Simulator(3, GENERIC).run(program)
+        assert res.elapsed == pytest.approx(2.5)
+        assert res.clocks == [pytest.approx(2.5)] * 3
+
+    def test_flops_priced_by_machine(self):
+        def program(ctx):
+            yield Compute(flops=GENERIC.flop_rate)
+
+        res = Simulator(1, GENERIC).run(program)
+        assert res.elapsed == pytest.approx(1.0)
+
+    def test_negative_seconds_rejected(self):
+        def program(ctx):
+            yield Compute(seconds=-1.0)
+
+        with pytest.raises(ValueError):
+            Simulator(1, GENERIC).run(program)
+
+    def test_compute_time_accounted(self):
+        def program(ctx):
+            yield Compute(seconds=1.0)
+            yield Compute(seconds=0.5)
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.trace.ranks[0].compute_time == pytest.approx(1.5)
+
+
+class TestSendRecv:
+    def test_payload_delivery(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, payload=np.arange(5.0))
+                return None
+            got = yield Recv(0)
+            return got.sum()
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.returns[1] == pytest.approx(10.0)
+
+    def test_recv_waits_for_arrival(self):
+        nbytes = 800
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Compute(seconds=1.0)
+                yield Send(1, payload=np.zeros(100))
+            else:
+                got = yield Recv(0)
+                return got
+
+        res = Simulator(2, GENERIC).run(program)
+        expected = 1.0 + GENERIC.message_time(nbytes) + GENERIC.recv_busy_time(
+            nbytes
+        )
+        assert res.clocks[1] == pytest.approx(expected)
+        assert res.trace.ranks[1].recv_wait_time > 0
+
+    def test_early_send_no_wait(self):
+        """If the message already arrived, the receiver pays no wait."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, payload=np.zeros(10))
+            else:
+                yield Compute(seconds=5.0)
+                got = yield Recv(0)
+                return got
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.trace.ranks[1].recv_wait_time == pytest.approx(0.0)
+
+    def test_fifo_ordering_same_tag(self):
+        """Messages between a pair with equal tags are non-overtaking."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for k in range(5):
+                    yield Send(1, payload=float(k), tag=7)
+            else:
+                got = []
+                for _ in range(5):
+                    v = yield Recv(0, tag=7)
+                    got.append(v)
+                return got
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.returns[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_tags_segregate(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, payload="a", tag=1)
+                yield Send(1, payload="b", tag=2)
+            else:
+                b = yield Recv(0, tag=2)
+                a = yield Recv(0, tag=1)
+                return (a, b)
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.returns[1] == ("a", "b")
+
+    def test_message_accounting(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, payload=np.zeros(100))  # 800 bytes
+            else:
+                yield Recv(0)
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.trace.total_messages() == 1
+        assert res.trace.total_bytes() == 800
+        assert res.trace.ranks[1].bytes_received == 800
+
+    def test_explicit_nbytes_override(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, payload=None, nbytes=12345)
+            else:
+                yield Recv(0)
+
+        res = Simulator(2, GENERIC).run(program)
+        assert res.trace.total_bytes() == 12345
+
+
+class TestDeadlock:
+    def test_mutual_recv_deadlocks(self):
+        def program(ctx):
+            other = 1 - ctx.rank
+            yield Recv(other)
+
+        with pytest.raises(DeadlockError, match="deadlock"):
+            Simulator(2, GENERIC).run(program)
+
+    def test_recv_from_silent_rank(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Recv(1)
+            # rank 1 exits immediately
+
+        with pytest.raises(DeadlockError):
+            Simulator(2, GENERIC).run(program)
+
+
+class TestBarrier:
+    def test_barrier_aligns_clocks(self):
+        def program(ctx):
+            yield Compute(seconds=float(ctx.rank))
+            yield Barrier(group=tuple(range(ctx.size)))
+            return ctx.clock
+
+        res = Simulator(4, GENERIC).run(program)
+        assert len(set(round(c, 12) for c in res.returns)) == 1
+        assert res.returns[0] >= 3.0
+
+    def test_subgroup_barrier(self):
+        def program(ctx):
+            if ctx.rank < 2:
+                yield Compute(seconds=1.0 + ctx.rank)
+                yield Barrier(group=(0, 1))
+            return ctx.clock
+
+        res = Simulator(3, GENERIC).run(program)
+        assert res.clocks[0] == pytest.approx(res.clocks[1])
+        assert res.clocks[2] == 0.0
+
+    def test_barrier_wrong_membership(self):
+        def program(ctx):
+            yield Barrier(group=(1, 2))
+
+        with pytest.raises(ValueError):
+            Simulator(3, GENERIC).run(program)
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def program(ctx):
+            total = 0.0
+            for step in range(3):
+                vals = yield from ctx.allgather(float(ctx.rank * step))
+                total += sum(vals)
+                yield Compute(seconds=0.01 * ctx.rank)
+            return total
+
+        r1 = Simulator(5, GENERIC).run(program)
+        r2 = Simulator(5, GENERIC).run(program)
+        assert r1.clocks == r2.clocks
+        assert r1.returns == r2.returns
+        assert r1.trace.total_messages() == r2.trace.total_messages()
+
+
+class TestRegions:
+    def test_region_elapsed_includes_waits(self):
+        def program(ctx):
+            with ctx.region("phase"):
+                if ctx.rank == 0:
+                    yield Compute(seconds=2.0)
+                    yield Send(1, payload=1.0)
+                else:
+                    got = yield Recv(0)
+            return None
+
+        res = Simulator(2, GENERIC).run(program)
+        # Rank 1 spent the whole wait inside the region.
+        assert res.trace.phase_elapsed["phase"][1] >= 2.0
+
+    def test_nested_regions(self):
+        def program(ctx):
+            with ctx.region("outer"):
+                yield Compute(seconds=1.0)
+                with ctx.region("inner"):
+                    yield Compute(seconds=0.5)
+
+        res = Simulator(1, GENERIC).run(program)
+        assert res.trace.phase_max("outer") == pytest.approx(1.5)
+        assert res.trace.phase_max("inner") == pytest.approx(0.5)
+
+    def test_mismatched_region_raises(self):
+        from repro.parallel.trace import Trace
+
+        tr = Trace(1)
+        tr.open_region(0, "a", 0.0)
+        with pytest.raises(RuntimeError):
+            tr.close_region(0, "b", 1.0)
+
+    def test_phase_imbalance_metric(self):
+        def program(ctx):
+            with ctx.region("p"):
+                yield Compute(seconds=1.0 + ctx.rank)
+
+        res = Simulator(2, GENERIC).run(program)
+        # loads 1 and 2: (max - mean) / mean = 0.5 / 1.5
+        assert res.trace.phase_imbalance("p") == pytest.approx(1 / 3)

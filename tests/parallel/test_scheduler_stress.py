@@ -1,0 +1,123 @@
+"""Stress and property tests of the discrete-event scheduler.
+
+Randomised SPMD programs that are deadlock-free by construction, checked
+for determinism, message conservation and clock sanity — the invariants
+everything else in the package leans on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import GENERIC, PARAGON, Simulator
+
+
+def _random_program_factory(seed: int, nrounds: int):
+    """An SPMD program of random neighbour exchanges and collectives.
+
+    Every rank derives the same schedule from the shared seed, so all
+    collectives match up and every send has a posted receive.
+    """
+
+    def program(ctx):
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        for round_idx in range(nrounds):
+            op = rng.integers(0, 4)
+            shift = int(rng.integers(1, max(2, ctx.size)))
+            nelem = int(rng.integers(1, 64))
+            if op == 0:
+                yield from ctx.compute(seconds=1e-4 * ((ctx.rank + round_idx) % 3))
+            elif op == 1 and ctx.size > 1:
+                dest = (ctx.rank + shift) % ctx.size
+                src = (ctx.rank - shift) % ctx.size
+                got = yield from ctx.sendrecv(
+                    dest=dest,
+                    payload=np.full(nelem, float(ctx.rank)),
+                    source=src,
+                    tag=round_idx,
+                )
+                total += float(got.sum())
+            elif op == 2:
+                value = yield from ctx.allreduce(float(ctx.rank))
+                total += value
+            else:
+                yield from ctx.barrier(tag=round_idx)
+        return total
+
+    return program
+
+
+class TestRandomPrograms:
+    @given(
+        seed=st.integers(0, 10_000),
+        nranks=st.integers(1, 9),
+        nrounds=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_runs_to_completion_deterministically(self, seed, nranks, nrounds):
+        program = _random_program_factory(seed, nrounds)
+        r1 = Simulator(nranks, GENERIC).run(program)
+        r2 = Simulator(nranks, GENERIC).run(program)
+        assert r1.clocks == r2.clocks
+        assert r1.returns == r2.returns
+        assert r1.trace.total_messages() == r2.trace.total_messages()
+
+    @given(seed=st.integers(0, 10_000), nranks=st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_message_conservation(self, seed, nranks):
+        program = _random_program_factory(seed, 8)
+        res = Simulator(nranks, GENERIC).run(program)
+        sent = sum(r.messages_sent for r in res.trace.ranks)
+        received = sum(r.messages_received for r in res.trace.ranks)
+        assert sent == received
+        assert sum(r.bytes_sent for r in res.trace.ranks) == sum(
+            r.bytes_received for r in res.trace.ranks
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_clocks_monotone_and_elapsed_is_max(self, seed):
+        program = _random_program_factory(seed, 10)
+        res = Simulator(5, GENERIC).run(program)
+        assert all(c >= 0 for c in res.clocks)
+        assert res.elapsed == max(res.clocks)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_machine_scales_but_preserves_results(self, seed):
+        """A slower machine changes clocks, never data."""
+        program = _random_program_factory(seed, 6)
+        fast = Simulator(4, GENERIC).run(program)
+        slow = Simulator(4, PARAGON).run(program)
+        assert fast.returns == slow.returns
+        assert slow.elapsed >= fast.elapsed
+
+
+class TestScale:
+    def test_many_ranks(self):
+        """240 virtual ranks (the paper's production size) stay cheap."""
+
+        def program(ctx):
+            yield from ctx.compute(seconds=1e-6 * ctx.rank)
+            total = yield from ctx.allreduce(1)
+            return total
+
+        res = Simulator(240, GENERIC).run(program)
+        assert res.returns == [240] * 240
+
+    def test_deep_message_chains(self):
+        """A long sequential pipeline exercises the ready-heap path."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 0)
+                final = yield from ctx.recv(ctx.size - 1)
+                return final
+            token = yield from ctx.recv(ctx.rank - 1)
+            token += ctx.rank
+            yield from ctx.send((ctx.rank + 1) % ctx.size, token)
+            return token
+
+        res = Simulator(30, GENERIC).run(program)
+        assert res.returns[0] == sum(range(30))

@@ -1,0 +1,115 @@
+"""Tests for event recording and timeline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import GENERIC, Simulator
+from repro.parallel.timeline import (
+    Event,
+    busy_fraction,
+    communication_matrix,
+    render_gantt,
+    wait_hotspots,
+)
+
+
+def _ring_program(ctx):
+    yield from ctx.compute(seconds=0.01 * (ctx.rank + 1))
+    yield from ctx.allgather(np.zeros(50))
+    yield from ctx.barrier()
+    return None
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    sim = Simulator(4, GENERIC, record_events=True)
+    return sim.run(_ring_program)
+
+
+class TestRecording:
+    def test_default_no_events(self):
+        res = Simulator(2, GENERIC).run(_ring_program)
+        assert res.trace.events is None
+
+    def test_events_collected(self, recorded):
+        kinds = {e.kind for e in recorded.trace.events}
+        assert {"compute", "send", "recv", "barrier"} <= kinds
+
+    def test_events_ordered_within_rank(self, recorded):
+        for rank in range(4):
+            evs = [e for e in recorded.trace.events if e.rank == rank]
+            # Events may interleave kinds but never run backwards.
+            starts = [e.start for e in sorted(evs, key=lambda e: e.start)]
+            assert starts == sorted(starts)
+
+    def test_event_durations_nonnegative(self, recorded):
+        assert all(e.duration >= 0 for e in recorded.trace.events)
+
+    def test_compute_events_match_accounting(self, recorded):
+        for rank in range(4):
+            total = sum(
+                e.duration
+                for e in recorded.trace.events
+                if e.rank == rank and e.kind == "compute"
+            )
+            assert total == pytest.approx(
+                recorded.trace.ranks[rank].compute_time
+            )
+
+
+class TestCommunicationMatrix:
+    def test_ring_pattern(self, recorded):
+        """Allgather-ring: rank i only ever sends to (i+1) mod P."""
+        cm = communication_matrix(recorded.trace)
+        for i in range(4):
+            for j in range(4):
+                if j == (i + 1) % 4:
+                    assert cm[i, j] > 0
+                else:
+                    assert cm[i, j] == 0
+
+    def test_volume_matches_accounting(self, recorded):
+        cm = communication_matrix(recorded.trace)
+        assert cm.sum() == recorded.trace.total_bytes()
+
+    def test_requires_events(self):
+        res = Simulator(2, GENERIC).run(_ring_program)
+        with pytest.raises(ValueError):
+            communication_matrix(res.trace)
+
+
+class TestGantt:
+    def test_renders_all_ranks(self, recorded):
+        text = render_gantt(recorded.trace, recorded.elapsed, width=40)
+        for r in range(4):
+            assert f"rank {r:4d}" in text
+
+    def test_compute_glyphs_present(self, recorded):
+        text = render_gantt(recorded.trace, recorded.elapsed, width=40)
+        assert "#" in text
+
+    def test_rank_subset_and_window(self, recorded):
+        text = render_gantt(
+            recorded.trace, recorded.elapsed, width=30,
+            ranks=[1], t0=0.0, t1=recorded.elapsed / 2,
+        )
+        assert "rank    1" in text and "rank    0" not in text
+
+    def test_empty_window_rejected(self, recorded):
+        with pytest.raises(ValueError):
+            render_gantt(recorded.trace, recorded.elapsed, t0=1.0, t1=1.0)
+
+
+class TestSummaries:
+    def test_busy_fraction_bounds(self, recorded):
+        frac = busy_fraction(recorded.trace, recorded.elapsed)
+        assert np.all(frac >= 0) and np.all(frac <= 1)
+        # Rank 3 computed the longest.
+        assert frac.argmax() == 3
+
+    def test_wait_hotspots_sorted(self, recorded):
+        spots = wait_hotspots(recorded.trace, top=4)
+        waits = [w for _, w in spots]
+        assert waits == sorted(waits, reverse=True)
+        # Rank 0 finished computing first -> waited the most.
+        assert spots[0][0] == 0

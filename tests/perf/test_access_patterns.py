@@ -1,0 +1,87 @@
+"""Tests for the layout address-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.perf.access_patterns import (
+    ADVECTION_LOOP_MIX,
+    ITEM,
+    laplace_flops,
+    laplace_stream_block,
+    laplace_stream_separate,
+    mixed_loops_block,
+    mixed_loops_separate,
+)
+
+
+class TestLaplaceStreams:
+    def test_stream_lengths_equal(self):
+        n, m = 8, 3
+        sep = laplace_stream_separate(n, m)
+        blk = laplace_stream_block(n, m)
+        assert sep.size == blk.size == (n - 2) ** 3 * (7 * m + 1)
+
+    def test_separate_addresses_within_arrays(self):
+        n, m = 8, 3
+        sep = laplace_stream_separate(n, m)
+        # m input arrays + 1 result array
+        assert sep.max() < ITEM * (m + 1) * n**3
+        assert sep.min() >= 0
+
+    def test_block_interleaving(self):
+        """In the block layout, field f and f+1 at the same point are
+        adjacent elements."""
+        n, m = 6, 4
+        blk = laplace_stream_block(n, m)
+        per_cell = 7 * m + 1
+        # First cell: centre accesses of fields 0 and 1 are ITEM apart.
+        f0_center = blk[0]
+        f1_center = blk[7]
+        assert f1_center - f0_center == ITEM
+
+    def test_separate_field_stride(self):
+        n, m = 6, 2
+        sep = laplace_stream_separate(n, m)
+        f0_center = sep[0]
+        f1_center = sep[7]
+        assert f1_center - f0_center == ITEM * n**3
+
+    def test_stagger_shifts_bases(self):
+        n, m = 6, 2
+        plain = laplace_stream_separate(n, m, stagger_lines=0)
+        staggered = laplace_stream_separate(n, m, stagger_lines=2)
+        assert staggered[7] - plain[7] == 2 * 32
+
+    def test_flops(self):
+        assert laplace_flops(32, 8) == 14.0 * 8 * 30**3
+
+
+class TestMixedLoops:
+    def test_loop_mix_fields_in_range(self):
+        m = 12
+        for loop in ADVECTION_LOOP_MIX:
+            assert all(0 <= f < m for f in loop)
+
+    def test_stream_length(self):
+        n, m = 6, 12
+        loops = ((0, 1), (2,))
+        sep = mixed_loops_separate(n, m, loops)
+        expected = (n - 2) ** 3 * ((2 + 1) + (1 + 1))
+        assert sep.size == expected
+
+    def test_block_and_separate_same_length(self):
+        n, m = 6, 12
+        sep = mixed_loops_separate(n, m, ADVECTION_LOOP_MIX)
+        blk = mixed_loops_block(n, m, ADVECTION_LOOP_MIX)
+        assert sep.size == blk.size
+
+    def test_block_reads_more_lines_for_sparse_loops(self):
+        """A 2-of-12-field loop touches more distinct 32-byte lines in the
+        block layout — the waste that kills its advantage."""
+        n, m = 8, 12
+        loops = ((0, 1),)
+        blk = mixed_loops_block(n, m, loops)
+        sep = mixed_loops_separate(n, m, loops, stagger_lines=3)
+        blk_lines = np.unique(blk // 32).size
+        sep_lines = np.unique(sep // 32).size
+        assert blk_lines > sep_lines

@@ -1,0 +1,54 @@
+"""Tests for the single-node layout predictions (paper Section 3.4)."""
+
+import pytest
+
+from repro.parallel import PARAGON, T3D
+from repro.perf.node_model import (
+    compare_advection_layouts,
+    compare_laplace_layouts,
+)
+
+
+@pytest.fixture(scope="module")
+def laplace_results():
+    return {
+        m.name: compare_laplace_layouts(m, n=16, m=8) for m in (PARAGON, T3D)
+    }
+
+
+@pytest.fixture(scope="module")
+def advection_results():
+    return {
+        m.name: compare_advection_layouts(m, n=16, m=12)
+        for m in (PARAGON, T3D)
+    }
+
+
+class TestLaplaceLayouts:
+    def test_block_wins_on_both_machines(self, laplace_results):
+        """Paper: block array 5x faster on Paragon, 2.6x on T3D."""
+        for name, c in laplace_results.items():
+            assert c.block_speedup > 1.2, name
+
+    def test_paragon_gains_more(self, laplace_results):
+        assert (
+            laplace_results["paragon"].block_speedup
+            > laplace_results["t3d"].block_speedup
+        )
+
+    def test_separate_arrays_thrash(self, laplace_results):
+        c = laplace_results["paragon"]
+        assert c.separate_misses > 3 * c.block_misses
+
+
+class TestAdvectionLayouts:
+    def test_no_block_advantage(self, advection_results):
+        """Paper: 'did not show any advantage of using the block array'."""
+        for name, c in advection_results.items():
+            assert c.block_speedup < 1.2, name
+
+    def test_block_can_underperform(self, advection_results):
+        """'For some sizes ... the block array underperformed'."""
+        assert any(
+            c.block_speedup < 1.0 for c in advection_results.values()
+        )

@@ -1,0 +1,122 @@
+"""Tests for cloud diagnosis and convective adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import PT_REFERENCE
+from repro.physics.clouds import (
+    cloud_fraction,
+    cloudy_layer_count,
+    pseudo_noise,
+    saturation_q,
+)
+from repro.physics.convection import (
+    CRITICAL_LAPSE,
+    MAX_ITERATIONS,
+    convective_adjustment,
+    instability_iterations,
+)
+
+
+class TestClouds:
+    def test_saturation_monotone_in_pt(self):
+        pt = np.array([PT_REFERENCE - 5, PT_REFERENCE, PT_REFERENCE + 5])
+        qs = saturation_q(pt)
+        assert qs[0] < qs[1] < qs[2]
+
+    def test_cloud_fraction_bounded(self, rng):
+        pt = PT_REFERENCE + rng.standard_normal((20, 5))
+        q = 0.02 * rng.random((20, 5))
+        lat = rng.uniform(-1.5, 1.5, 20)
+        lon = rng.uniform(0, 6.28, 20)
+        cf = cloud_fraction(pt, q, lat, lon, step=3)
+        assert np.all(cf >= 0) and np.all(cf <= 1)
+
+    def test_deterministic(self, rng):
+        pt = PT_REFERENCE + rng.standard_normal((10, 4))
+        q = 0.01 * rng.random((10, 4))
+        lat = rng.uniform(-1, 1, 10)
+        lon = rng.uniform(0, 6, 10)
+        a = cloud_fraction(pt, q, lat, lon, step=5)
+        b = cloud_fraction(pt, q, lat, lon, step=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_varies_with_step(self, rng):
+        lat = rng.uniform(-1, 1, 10)
+        lon = rng.uniform(0, 6, 10)
+        assert not np.allclose(pseudo_noise(lat, lon, 1), pseudo_noise(lat, lon, 2))
+
+    def test_noise_bounded(self, rng):
+        n = pseudo_noise(rng.uniform(-1.5, 1.5, 100), rng.uniform(0, 6.3, 100), 7)
+        assert np.all(np.abs(n) <= 1.0)
+
+    def test_humid_columns_cloudier(self):
+        pt = np.full((2, 4), PT_REFERENCE)
+        q_dry = np.full((1, 4), 1e-4)
+        q_wet = np.full((1, 4), 2e-2)
+        lat = np.zeros(1)
+        lon = np.zeros(1)
+        cf_dry = cloud_fraction(pt[:1], q_dry, lat, lon, 0, noise_amp=0.0)
+        cf_wet = cloud_fraction(pt[:1], q_wet, lat, lon, 0, noise_amp=0.0)
+        assert cf_wet.sum() > cf_dry.sum()
+
+    def test_cloudy_layer_count(self):
+        cf = np.array([[0.0, 0.5, 0.9], [0.1, 0.2, 0.1]])
+        np.testing.assert_array_equal(cloudy_layer_count(cf), [2, 0])
+
+
+class TestConvection:
+    def test_stable_column_no_iterations(self):
+        pt = np.linspace(PT_REFERENCE, PT_REFERENCE + 10, 6)[None, :]
+        assert instability_iterations(pt)[0] == 0
+
+    def test_unstable_column_iterates(self):
+        pt = np.linspace(PT_REFERENCE, PT_REFERENCE - 10, 6)[None, :]
+        assert instability_iterations(pt)[0] > 0
+
+    def test_iterations_capped(self):
+        pt = np.linspace(PT_REFERENCE, PT_REFERENCE - 100, 12)[None, :]
+        assert instability_iterations(pt)[0] == MAX_ITERATIONS
+
+    def test_stable_column_unchanged(self):
+        pt = np.linspace(PT_REFERENCE, PT_REFERENCE + 5, 5)[None, :]
+        q = np.full_like(pt, 1e-3)
+        dpt, dq, flops = convective_adjustment(pt, q)
+        np.testing.assert_allclose(dpt, 0.0)
+        np.testing.assert_allclose(dq, 0.0)
+
+    def test_adjustment_reduces_instability(self):
+        pt = np.array([[PT_REFERENCE + 5, PT_REFERENCE, PT_REFERENCE - 5]])
+        q = np.full_like(pt, 1e-3)
+        dpt, _, _ = convective_adjustment(pt, q)
+        after = pt + dpt
+        before_excess = np.maximum(pt[:, :-1] - pt[:, 1:] - CRITICAL_LAPSE, 0).sum()
+        after_excess = np.maximum(
+            after[:, :-1] - after[:, 1:] - CRITICAL_LAPSE, 0
+        ).sum()
+        assert after_excess < before_excess
+
+    def test_mass_conserved(self):
+        """Adjustment mixes pt between layers without creating mass."""
+        pt = np.array([[PT_REFERENCE + 8, PT_REFERENCE, PT_REFERENCE - 8]])
+        q = np.full_like(pt, 1e-3)
+        dpt, _, _ = convective_adjustment(pt, q)
+        assert dpt.sum() == pytest.approx(0.0, abs=1e-10)
+
+    def test_cost_grows_with_instability(self):
+        stable = np.linspace(PT_REFERENCE, PT_REFERENCE + 5, 8)[None, :]
+        unstable = np.linspace(PT_REFERENCE, PT_REFERENCE - 50, 8)[None, :]
+        q = np.full_like(stable, 1e-3)
+        _, _, f_stable = convective_adjustment(stable, q)
+        _, _, f_unstable = convective_adjustment(unstable, q)
+        assert f_unstable[0] > f_stable[0]
+
+    def test_moistening_only_where_adjusted(self):
+        pt = np.vstack([
+            np.linspace(PT_REFERENCE, PT_REFERENCE + 5, 6),   # stable
+            np.linspace(PT_REFERENCE, PT_REFERENCE - 20, 6),  # unstable
+        ])
+        q = np.full_like(pt, 1e-3)
+        _, dq, _ = convective_adjustment(pt, q)
+        assert dq[0].sum() == 0.0
+        assert dq[1].sum() > 0.0

@@ -1,0 +1,124 @@
+"""Tests for large-scale condensation and precipitation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import PT_REFERENCE
+from repro.physics.clouds import saturation_q
+from repro.physics.condensation import (
+    COND_PER_WET_LAYER,
+    COND_TRIGGER,
+    LATENT_FACTOR,
+    RAINOUT_RATE,
+    large_scale_condensation,
+    supersaturated_layers,
+)
+
+
+@pytest.fixture
+def dry_column():
+    pt = np.full((1, 5), PT_REFERENCE)
+    q = 0.5 * saturation_q(pt)
+    return pt, q
+
+
+@pytest.fixture
+def wet_column():
+    pt = np.full((1, 5), PT_REFERENCE)
+    q = 0.5 * saturation_q(pt)
+    q[0, 3] = 2.0 * saturation_q(pt)[0, 3]  # one supersaturated layer
+    return pt, q
+
+
+class TestTriggering:
+    def test_dry_column_untouched(self, dry_column):
+        pt, q = dry_column
+        dpt, dq, precip, flops = large_scale_condensation(pt, q)
+        np.testing.assert_allclose(dpt, 0.0)
+        np.testing.assert_allclose(dq, 0.0)
+        np.testing.assert_allclose(precip, 0.0)
+        assert flops[0] == COND_TRIGGER
+
+    def test_wet_layer_condenses(self, wet_column):
+        pt, q = wet_column
+        dpt, dq, precip, flops = large_scale_condensation(pt, q)
+        assert dq[0, 3] < 0          # moisture removed
+        assert dpt[0, 3] > 0         # latent heating
+        assert flops[0] == COND_TRIGGER + COND_PER_WET_LAYER
+
+    def test_supersaturated_layer_count(self, wet_column):
+        pt, q = wet_column
+        assert supersaturated_layers(pt, q)[0] == 1
+
+    def test_cost_scales_with_wet_layers(self):
+        pt = np.full((2, 6), PT_REFERENCE)
+        q = 0.5 * saturation_q(pt)
+        q[1, :3] = 2.0 * saturation_q(pt)[1, :3]
+        _, _, _, flops = large_scale_condensation(pt, q)
+        assert flops[1] == flops[0] + 3 * COND_PER_WET_LAYER
+
+
+class TestBudgets:
+    def test_rainout_fraction(self, wet_column):
+        pt, q = wet_column
+        _, dq, precip, _ = large_scale_condensation(pt, q)
+        excess = q[0, 3] - saturation_q(pt)[0, 3]
+        removed = -dq[0, 3]
+        assert removed <= RAINOUT_RATE * excess + 1e-15
+
+    def test_moisture_budget_closes(self, wet_column):
+        """Condensed moisture = precipitation + re-evaporation."""
+        pt, q = wet_column
+        _, dq, precip, _ = large_scale_condensation(pt, q)
+        assert dq.sum() + precip.sum() == pytest.approx(0.0, abs=1e-15)
+
+    def test_heating_proportional_to_net_condensation(self, wet_column):
+        pt, q = wet_column
+        dpt, dq, _, _ = large_scale_condensation(pt, q)
+        np.testing.assert_allclose(dpt.sum(), -LATENT_FACTOR * dq.sum())
+
+    def test_reevaporation_moistens_dry_layers_below(self):
+        pt = np.full((1, 5), PT_REFERENCE)
+        q = 0.1 * saturation_q(pt)            # very dry column...
+        q[0, 4] = 3.0 * saturation_q(pt)[0, 4]  # ...with a wet top layer
+        _, dq, precip, _ = large_scale_condensation(pt, q)
+        assert np.all(dq[0, :4] >= 0)
+        assert dq[0, :4].sum() > 0
+        assert precip[0] >= 0
+
+    def test_precipitation_nonnegative(self, rng):
+        pt = PT_REFERENCE + rng.standard_normal((20, 6))
+        q = 0.02 * rng.random((20, 6))
+        _, _, precip, _ = large_scale_condensation(pt, q)
+        assert np.all(precip >= -1e-15)
+
+
+class TestDriverIntegration:
+    def test_driver_reports_precip(self, rng):
+        from repro.physics.driver import ColumnSet, run_physics
+
+        pt = PT_REFERENCE + rng.standard_normal((10, 5))
+        q = 2.0 * saturation_q(pt) * rng.random((10, 5))
+        cols = ColumnSet(
+            pt=pt, q=q,
+            lat_rad=rng.uniform(-1, 1, 10),
+            lon_rad=rng.uniform(0, 6, 10),
+        )
+        result = run_physics(cols, 0.3, 2)
+        assert result.precip is not None
+        assert result.precip.shape == (10,)
+        assert np.all(result.precip >= 0)
+
+    def test_flops_still_match_estimator(self, rng):
+        from repro.physics.driver import ColumnSet, run_physics
+        from repro.physics.workload import column_flops
+
+        pt = PT_REFERENCE + rng.standard_normal((15, 5))
+        q = 1.5 * saturation_q(pt) * rng.random((15, 5))
+        cols = ColumnSet(
+            pt=pt, q=q,
+            lat_rad=rng.uniform(-1, 1, 15),
+            lon_rad=rng.uniform(0, 6, 15),
+        )
+        result = run_physics(cols, 0.6, 4)
+        np.testing.assert_allclose(result.flops, column_flops(cols, 0.6, 4))

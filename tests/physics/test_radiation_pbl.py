@@ -1,0 +1,114 @@
+"""Tests for radiation and boundary-layer parameterisations."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import PT_REFERENCE
+from repro.physics.pbl import PBL_FLOPS, SURFACE_PT_OFFSET, surface_fluxes
+from repro.physics.radiation import (
+    LW_BASE,
+    LW_CLOUD_PER_LAYER,
+    LW_PER_LAYER,
+    SW_BASE,
+    SW_PER_LAYER,
+    longwave_heating,
+    shortwave_heating,
+)
+
+
+@pytest.fixture
+def columns(rng):
+    ncol, k = 12, 6
+    pt = PT_REFERENCE + rng.standard_normal((ncol, k))
+    q = 0.01 * rng.random((ncol, k))
+    cf = rng.random((ncol, k))
+    return pt, q, cf
+
+
+class TestLongwave:
+    def test_shapes_and_finiteness(self, columns):
+        pt, _, cf = columns
+        heating, flops = longwave_heating(pt, cf)
+        assert heating.shape == pt.shape
+        assert flops.shape == (pt.shape[0],)
+        assert np.isfinite(heating).all()
+
+    def test_cost_model(self, columns):
+        pt, _, cf = columns
+        _, flops = longwave_heating(pt, cf)
+        k = pt.shape[1]
+        cloudy = (cf > 0.3).sum(axis=1)
+        expected = LW_BASE + LW_PER_LAYER * k + LW_CLOUD_PER_LAYER * cloudy
+        np.testing.assert_allclose(flops, expected)
+
+    def test_cloudier_columns_cost_more(self, columns):
+        pt, _, _ = columns
+        clear = np.zeros_like(pt)
+        cloudy = np.ones_like(pt)
+        _, f_clear = longwave_heating(pt, clear)
+        _, f_cloudy = longwave_heating(pt, cloudy)
+        assert np.all(f_cloudy > f_clear)
+
+    def test_hot_layer_cools(self):
+        """A layer much warmer than its surroundings loses energy."""
+        k = 5
+        pt = np.full((1, k), PT_REFERENCE)
+        pt[0, 2] += 30.0
+        cf = np.zeros((1, k))
+        heating, _ = longwave_heating(pt, cf)
+        assert heating[0, 2] < 0
+
+
+class TestShortwave:
+    def test_night_columns_free_and_unheated(self, columns):
+        _, q, _ = columns
+        mu = np.zeros(q.shape[0])
+        heating, flops = shortwave_heating(mu, q)
+        np.testing.assert_allclose(heating, 0.0)
+        np.testing.assert_allclose(flops, 0.0)
+
+    def test_day_columns_heated_and_charged(self, columns):
+        _, q, _ = columns
+        mu = np.full(q.shape[0], 0.8)
+        heating, flops = shortwave_heating(mu, q)
+        assert np.all(heating.sum(axis=1) > 0)
+        np.testing.assert_allclose(flops, SW_BASE + SW_PER_LAYER * q.shape[1])
+
+    def test_mixed_day_night(self, columns):
+        _, q, _ = columns
+        mu = np.zeros(q.shape[0])
+        mu[::2] = 0.5
+        heating, flops = shortwave_heating(mu, q)
+        assert np.all(flops[::2] > 0)
+        assert np.all(flops[1::2] == 0)
+        assert np.all(heating[1::2] == 0)
+
+    def test_oblique_sun_heats_less(self, columns):
+        _, q, _ = columns
+        h_high, _ = shortwave_heating(np.full(q.shape[0], 1.0), q)
+        h_low, _ = shortwave_heating(np.full(q.shape[0], 0.1), q)
+        assert h_high.sum() > h_low.sum()
+
+
+class TestPBL:
+    def test_only_lowest_layer_touched(self, columns):
+        pt, q, _ = columns
+        mu = np.zeros(pt.shape[0])
+        dpt, dq, flops = surface_fluxes(pt, q, mu)
+        np.testing.assert_allclose(dpt[:, 1:], 0.0)
+        np.testing.assert_allclose(dq[:, 1:], 0.0)
+        np.testing.assert_allclose(flops, PBL_FLOPS)
+
+    def test_flux_toward_equilibrium(self):
+        pt = np.full((1, 3), PT_REFERENCE - 10.0)  # cold air over warm surface
+        q = np.full((1, 3), 1e-4)
+        dpt, dq, _ = surface_fluxes(pt, q, np.zeros(1))
+        assert dpt[0, 0] > 0  # heating
+        assert dq[0, 0] > 0   # evaporation
+
+    def test_daytime_surface_warmer(self):
+        pt = np.full((2, 3), PT_REFERENCE + SURFACE_PT_OFFSET)
+        q = np.full((2, 3), 1e-2)
+        dpt_night, _, _ = surface_fluxes(pt[:1], q[:1], np.zeros(1))
+        dpt_day, _, _ = surface_fluxes(pt[1:], q[1:], np.ones(1))
+        assert dpt_day[0, 0] > dpt_night[0, 0]

@@ -1,0 +1,76 @@
+"""Tests for the experiment registry (fast experiments only; the heavy
+table sweeps run under benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig2_3,
+    run_fig4_6,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        """Every table and figure of the paper has a registered runner."""
+        expected = {
+            "fig1", "fig2_3", "fig4_6", "tables1_3",
+            "table4", "table5", "table6", "table7",
+            "table8", "table9", "table10", "table11",
+            "blockarray", "advection_opt", "pointwise",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestFig2_3:
+    def test_balanced_rows_within_one(self):
+        result = run_fig2_3(mesh_dims=(4, 8))
+        rows = result.data["balanced_rows"]
+        assert max(rows) - min(rows) <= 1
+        assert sum(rows) == result.data["total_units"]
+
+    def test_natural_has_idle_ranks(self):
+        result = run_fig2_3(mesh_dims=(4, 8))
+        assert (result.data["natural_lines"] == 0).sum() > 0
+        assert (result.data["balanced_lines"] == 0).sum() == 0
+
+    def test_render_contains_tables(self):
+        text = run_fig2_3().render()
+        assert "Figure 2" in text and "Figure 3" in text
+
+
+class TestFig4_6:
+    def test_paper_worked_example_exact(self):
+        """The paper's Figure 6: {65,24,38,15} -> {40,31,31,40} ->
+        {36,35,35,36}."""
+        result = run_fig4_6()
+        history = result.data["scheme3_history"]
+        np.testing.assert_allclose(history[1], [40, 31, 31, 40])
+        np.testing.assert_allclose(history[2], [36, 35, 35, 36])
+
+    def test_scheme1_exact_balance_but_quadratic(self):
+        result = run_fig4_6()
+        s1 = result.data["scheme1"]
+        assert s1.imbalance_after == pytest.approx(0.0)
+        assert s1.message_count == 4 * 3
+
+    def test_scheme2_linear_messages(self):
+        result = run_fig4_6()
+        s2 = result.data["scheme2"]
+        assert s2.message_count <= 3
+        assert s2.imbalance_after < 1e-9
+
+    def test_scheme3_cheapest_communication(self):
+        """Scheme 3 trades a little residual imbalance for pairwise-only
+        messages — the paper's adoption argument."""
+        result = run_fig4_6()
+        s1 = result.data["scheme1"]
+        s3 = result.data["scheme3"]
+        assert s3.message_count < s1.message_count
+        assert s3.imbalance_after < 0.05

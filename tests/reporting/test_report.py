@@ -1,0 +1,58 @@
+"""Tests for the markdown regeneration report."""
+
+import pytest
+
+from repro import __main__ as cli
+from repro.reporting.report import (
+    QUICK_ORDER,
+    REPORT_ORDER,
+    generate_report,
+    write_report,
+)
+from repro.reporting.experiments import EXPERIMENTS
+
+
+class TestOrders:
+    def test_report_order_covers_all_paper_artifacts(self):
+        paper = {
+            "fig1", "fig2_3", "fig4_6", "tables1_3",
+            "table4", "table5", "table6", "table7",
+            "table8", "table9", "table10", "table11",
+        }
+        assert paper <= set(REPORT_ORDER)
+
+    def test_all_orders_resolvable(self):
+        assert set(REPORT_ORDER) <= set(EXPERIMENTS)
+        assert set(QUICK_ORDER) <= set(EXPERIMENTS)
+
+
+class TestGeneration:
+    def test_quick_report_structure(self):
+        text = generate_report(quick=True)
+        assert text.startswith("# Regeneration report")
+        for ident in QUICK_ORDER:
+            assert f"## {ident}" in text
+        assert "total regeneration time" in text
+
+    def test_explicit_subset(self):
+        text = generate_report(idents=["fig4_6"])
+        assert "## fig4_6" in text
+        assert "## fig2_3" not in text
+
+    def test_unknown_ident(self):
+        with pytest.raises(KeyError):
+            generate_report(idents=["table99"])
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", idents=["fig4_6"])
+        assert path.exists()
+        assert "pairwise" in path.read_text()
+
+    def test_cli_report_quick(self, capsys):
+        assert cli.main(["report", "--quick"]) == 0
+        assert "# Regeneration report" in capsys.readouterr().out
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.md"
+        assert cli.main(["report", "--quick", str(target)]) == 0
+        assert target.exists()

@@ -1,0 +1,76 @@
+"""Small-parameter smoke tests of the heavy experiment runners.
+
+The full-size regenerations live under ``benchmarks/``; here each runner
+executes with reduced meshes/steps so the unit suite covers the code
+paths (table assembly, data dictionaries, CLI) quickly.
+"""
+
+import pytest
+
+from repro import __main__ as cli
+from repro.parallel import T3D
+from repro.reporting.experiments import (
+    run_agcm_timing_table,
+    run_fig1,
+    run_filtering_table,
+    run_sp2_supplementary,
+)
+
+
+class TestFig1Small:
+    def test_runs_on_small_meshes(self):
+        result = run_fig1(meshes=((2, 2), (2, 4)), nsteps=4)
+        assert set(result.data) == {4, 8}
+        for row in result.data.values():
+            assert 0 < row["dynamics_fraction"] < 1
+            assert 0 < row["filtering_fraction"] < 1
+        assert "Figure 1" in result.render()
+
+
+class TestAgcmTableSmall:
+    def test_speedups_relative_to_first_mesh(self):
+        result = run_agcm_timing_table(
+            T3D, "fft-lb", meshes=((1, 1), (2, 2)), nsteps=4
+        )
+        assert result.data[(1, 1)]["speedup"] == pytest.approx(1.0)
+        assert result.data[(2, 2)]["speedup"] > 1.5
+        assert result.data[(2, 2)]["total"] < result.data[(1, 1)]["total"]
+
+
+class TestFilteringTableSmall:
+    def test_column_ordering_small(self):
+        result = run_filtering_table(
+            T3D, nlayers=4, meshes=((2, 2), (2, 4)), napps=1
+        )
+        for dims, row in result.data.items():
+            assert row["convolution-ring"] > row["fft-lb"], dims
+
+    def test_table_mentions_layers(self):
+        result = run_filtering_table(T3D, nlayers=4, meshes=((2, 2),), napps=1)
+        assert "2 x 2.5 x 4" in result.render()
+
+
+class TestSp2Small:
+    def test_new_beats_old(self):
+        result = run_sp2_supplementary(meshes=((2, 2),), nsteps=4)
+        per = result.data[(2, 2)]
+        assert per["new"].dynamics < per["old"].dynamics
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table8" in out and "fig4_6" in out
+
+    def test_help(self, capsys):
+        assert cli.main([]) == 0
+        assert "Experiments:" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert cli.main(["table99"]) == 2
+
+    def test_run_one(self, capsys):
+        assert cli.main(["fig4_6"]) == 0
+        out = capsys.readouterr().out
+        assert "pairwise" in out

@@ -1,0 +1,70 @@
+"""Tests for block partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.partition import block_bounds, block_partition, owner_of
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        assert block_partition(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_front_loaded(self):
+        assert block_partition(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_items(self):
+        assert block_partition(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        assert block_partition(0, 3) == [0, 0, 0]
+
+    def test_single_part(self):
+        assert block_partition(7, 1) == [7]
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            block_partition(5, 0)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+
+    @given(n=st.integers(0, 2000), parts=st.integers(1, 64))
+    def test_sizes_sum_and_balance(self, n, parts):
+        sizes = block_partition(n, parts)
+        assert sum(sizes) == n
+        assert len(sizes) == parts
+        assert max(sizes) - min(sizes) <= 1
+        # Front-loaded: non-increasing.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestBlockBounds:
+    def test_bounds_cover_range(self):
+        bounds = block_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    @given(n=st.integers(1, 500), parts=st.integers(1, 32))
+    def test_contiguous_cover(self, n, parts):
+        bounds = block_bounds(n, parts)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+
+
+class TestOwnerOf:
+    @given(n=st.integers(1, 500), parts=st.integers(1, 32),
+           data=st.data())
+    def test_owner_matches_bounds(self, n, parts, data):
+        index = data.draw(st.integers(0, n - 1))
+        owner = owner_of(index, n, parts)
+        lo, hi = block_bounds(n, parts)[owner]
+        assert lo <= index < hi
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            owner_of(10, 10, 3)
+        with pytest.raises(IndexError):
+            owner_of(-1, 10, 3)
