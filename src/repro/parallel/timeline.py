@@ -85,9 +85,20 @@ def render_gantt(
         raise ValueError("trace has no events; run with record_events=True")
     if t1 is None:
         t1 = elapsed
-    if t1 <= t0:
+    if t1 < t0:
         raise ValueError("empty time window")
     ranks = list(range(trace.nranks)) if ranks is None else list(ranks)
+    if t1 == t0:
+        # zero-span window (e.g. a run whose programs did nothing, so
+        # elapsed == 0): render the frame with idle rows instead of
+        # failing, so diagnostics of degenerate runs still print
+        lines = [
+            f"virtual time {t0:.3g} .. {t1:.3g} s   "
+            "(# compute, > send, . wait, : recv, | barrier)"
+        ]
+        for r in ranks:
+            lines.append(f"rank {r:4d} |{' ' * width}|")
+        return "\n".join(lines)
     span = t1 - t0
     glyph = {COMPUTE: "#", SEND: ">", RECV_WAIT: ".", RECV: ":", BARRIER: "|"}
     rows = {r: [" "] * width for r in ranks}

@@ -1,0 +1,222 @@
+"""Schema'd benchmark trajectory + ratio-regression gate for ``BENCH_agcm.json``.
+
+Every entry snapshots the deterministic virtual-machine benchmarks that
+encode the paper's headline results — filtering seconds/day by method
+(Tables 8-11) and old-vs-new AGCM component timings (Tables 4-7) — plus
+the derived speedup *ratios* the paper's argument rests on.  Because the
+simulator prices work deterministically, these numbers are exactly
+reproducible: any drift is a real behavioural change in the codebase,
+not measurement noise.  Wall-clock numbers are deliberately excluded
+from gating (they are noisy); tracked ratios are virtual-time only.
+
+The gate (``tools/bench_gate.py``) recomputes the metrics, compares each
+tracked ratio against the most recent recorded entry, and fails when a
+ratio has degraded by :data:`DEFAULT_THRESHOLD` (20%) or more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+BENCHMARK_NAME = "agcm"
+DEFAULT_THRESHOLD = 0.20
+
+#: Cheap, deterministic benchmark shapes (chosen so the full collection
+#: runs in a couple of seconds while still exercising every component).
+FILTER_MESH: Tuple[int, int] = (4, 8)
+AGCM_MESH: Tuple[int, int] = (4, 4)
+AGCM_NSTEPS = 4
+
+#: Ratio metrics the gate enforces.  All are speedups (>1 means the
+#: optimised variant wins), so "degraded" always means "got smaller".
+TRACKED_RATIOS: Tuple[str, ...] = (
+    "speedup_filter_fft_vs_convolution",
+    "speedup_filter_fft_lb_vs_convolution",
+    "speedup_agcm_dynamics_new_vs_old",
+    "speedup_agcm_filtering_new_vs_old",
+    "speedup_agcm_total_new_vs_old",
+)
+
+_ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
+                        "metrics", "tracked_ratios")
+
+
+def collect_metrics() -> Dict[str, float]:
+    """Run the deterministic benchmarks and return the metric mapping.
+
+    Imports the experiment runners lazily so that loading this module
+    (e.g. for schema validation in tests) stays cheap.
+    """
+    from repro.parallel import PARAGON
+    from repro.reporting.experiments import (
+        run_agcm_timing_table,
+        run_filtering_table,
+    )
+
+    filt = run_filtering_table(
+        PARAGON, 9, meshes=(FILTER_MESH,), napps=1
+    ).data[FILTER_MESH]
+    old = run_agcm_timing_table(
+        PARAGON, "convolution-ring", meshes=(AGCM_MESH,), nsteps=AGCM_NSTEPS
+    ).data[AGCM_MESH]
+    new = run_agcm_timing_table(
+        PARAGON, "fft-lb", meshes=(AGCM_MESH,), nsteps=AGCM_NSTEPS
+    ).data[AGCM_MESH]
+
+    metrics: Dict[str, float] = {
+        # component timings (virtual seconds per simulated day)
+        "filtering_convolution_s_per_day": filt["convolution-ring"],
+        "filtering_fft_s_per_day": filt["fft"],
+        "filtering_fft_lb_s_per_day": filt["fft-lb"],
+        "agcm_old_dynamics_s_per_day": old["dynamics"],
+        "agcm_old_filtering_s_per_day": old["filtering"],
+        "agcm_old_total_s_per_day": old["total"],
+        "agcm_new_dynamics_s_per_day": new["dynamics"],
+        "agcm_new_filtering_s_per_day": new["filtering"],
+        "agcm_new_total_s_per_day": new["total"],
+        # tracked speedup ratios (the paper's argument, in gate-able form)
+        "speedup_filter_fft_vs_convolution":
+            filt["convolution-ring"] / filt["fft"],
+        "speedup_filter_fft_lb_vs_convolution":
+            filt["convolution-ring"] / filt["fft-lb"],
+        "speedup_agcm_dynamics_new_vs_old": old["dynamics"] / new["dynamics"],
+        "speedup_agcm_filtering_new_vs_old":
+            old["filtering"] / new["filtering"],
+        "speedup_agcm_total_new_vs_old": old["total"] / new["total"],
+    }
+    return {k: float(v) for k, v in metrics.items()}
+
+
+def make_entry(
+    metrics: Dict[str, float],
+    timestamp: str,
+    label: str = "",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict:
+    """Build one schema'd trajectory entry from collected metrics."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "timestamp": timestamp,
+        "label": label,
+        "machine": "paragon",
+        "config": {
+            "filter_mesh": list(FILTER_MESH),
+            "agcm_mesh": list(AGCM_MESH),
+            "agcm_nsteps": AGCM_NSTEPS,
+            "regression_threshold": threshold,
+        },
+        "metrics": dict(metrics),
+        "tracked_ratios": list(TRACKED_RATIOS),
+    }
+
+
+def validate_entry(entry: Dict) -> List[str]:
+    """Return schema problems (empty list = valid entry)."""
+    problems = []
+    if not isinstance(entry, dict):
+        return [f"entry is {type(entry).__name__}, expected dict"]
+    for key in _ENTRY_REQUIRED_KEYS:
+        if key not in entry:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if entry["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {entry['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    metrics = entry["metrics"]
+    if not isinstance(metrics, dict):
+        problems.append("metrics is not a dict")
+    else:
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"metric {name!r} is not a number: {value!r}")
+        for name in entry["tracked_ratios"]:
+            if name not in metrics:
+                problems.append(f"tracked ratio {name!r} missing from metrics")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# trajectory file
+# ----------------------------------------------------------------------
+
+def empty_trajectory() -> Dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": BENCHMARK_NAME,
+        "entries": [],
+    }
+
+
+def load_trajectory(path: str) -> Dict:
+    """Load a trajectory file; a missing or empty file is an empty one."""
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return empty_trajectory()
+    with open(path) as fh:
+        traj = json.load(fh)
+    if not isinstance(traj, dict) or "entries" not in traj:
+        raise ValueError(f"{path}: not a benchmark trajectory file")
+    return traj
+
+
+def save_trajectory(path: str, traj: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(traj, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def baseline_entry(traj: Dict) -> Optional[Dict]:
+    """The entry new runs are gated against: the most recent one."""
+    entries = traj.get("entries", [])
+    return entries[-1] if entries else None
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tracked ratio that degraded past the threshold."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def drop(self) -> float:
+        """Fractional degradation (0.25 = lost a quarter of the speedup)."""
+        if self.baseline == 0:
+            return 0.0
+        return 1.0 - self.current / self.baseline
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.baseline:.3f} -> {self.current:.3f} "
+            f"({self.drop:+.1%} degradation)"
+        )
+
+
+def compare_to_baseline(
+    metrics: Dict[str, float],
+    baseline: Optional[Dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Regression]:
+    """Tracked ratios that regressed >= ``threshold`` vs the baseline.
+
+    With no baseline (first ever run) there is nothing to gate against.
+    """
+    if baseline is None:
+        return []
+    base_metrics = baseline["metrics"]
+    regressions = []
+    for name in baseline.get("tracked_ratios", TRACKED_RATIOS):
+        if name not in base_metrics or name not in metrics:
+            continue
+        reg = Regression(name, float(base_metrics[name]), float(metrics[name]))
+        # the epsilon keeps "exactly at threshold" failing despite float
+        # rounding in the drop computation
+        if reg.baseline > 0 and reg.drop >= threshold - 1e-12:
+            regressions.append(reg)
+    return regressions

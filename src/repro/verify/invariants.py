@@ -1,0 +1,169 @@
+"""Conservation laws every virtual-machine simulation must satisfy.
+
+The scheduler prices every op deterministically, so a handful of exact
+identities hold for *any* rank program on *any* machine model:
+
+* **byte/message conservation** — everything sent was received (the
+  scheduler only completes matched send/recv pairs);
+* **per-rank clock identity** — a rank's final virtual clock equals the
+  sum of its accounted components (compute + send busy + recv busy +
+  recv wait + barrier wait); the addends are re-summed in a different
+  order than the clock accumulated them, so the comparison is relative;
+* **event sanity** — when timeline events were recorded, each lies
+  within ``[0, elapsed]`` with non-negative duration, and send events
+  reproduce the per-rank byte counters;
+* **communication-matrix symmetry** — for pairwise-exchange patterns
+  (halo exchange, transpose all-to-all) rank i sends rank j exactly as
+  many bytes as it receives from it.  This is *not* true of ring or
+  tree collectives, so symmetry is opt-in via ``symmetric=True``.
+
+``check_*`` functions return a list of human-readable violation strings
+(empty = OK); :func:`assert_sim_invariants` wraps them for test use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.parallel.trace import SimResult, Trace
+from repro.verify import tolerances
+
+
+class InvariantViolation(AssertionError):
+    """A simulator conservation law failed."""
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(
+        a, b, rel_tol=tolerances.CLOCK_RTOL, abs_tol=tolerances.CLOCK_ATOL
+    )
+
+
+def check_bytes_conservation(trace: Trace) -> List[str]:
+    """Globally, bytes (and messages) sent must equal bytes received."""
+    violations = []
+    sent = sum(r.bytes_sent for r in trace.ranks)
+    received = sum(r.bytes_received for r in trace.ranks)
+    if sent != received:
+        violations.append(
+            f"byte conservation: {sent} bytes sent != {received} received"
+        )
+    msent = sum(r.messages_sent for r in trace.ranks)
+    mreceived = sum(r.messages_received for r in trace.ranks)
+    if msent != mreceived:
+        violations.append(
+            f"message conservation: {msent} sent != {mreceived} received"
+        )
+    return violations
+
+
+def check_clock_identity(result: SimResult) -> List[str]:
+    """Each rank's final clock equals the sum of its accounted parts."""
+    violations = []
+    for rank, acct in enumerate(result.trace.ranks):
+        total = (
+            acct.compute_time
+            + acct.send_busy_time
+            + acct.recv_busy_time
+            + acct.recv_wait_time
+            + acct.barrier_wait_time
+        )
+        clock = result.clocks[rank]
+        if not _close(total, clock):
+            violations.append(
+                f"clock identity: rank {rank} components sum to {total!r} "
+                f"but final clock is {clock!r}"
+            )
+    if result.clocks and not _close(max(result.clocks), result.elapsed):
+        violations.append(
+            f"makespan: elapsed {result.elapsed!r} != max rank clock "
+            f"{max(result.clocks)!r}"
+        )
+    return violations
+
+
+def check_events(result: SimResult) -> List[str]:
+    """Timeline events (when recorded) are well-formed and consistent.
+
+    Every event fits in ``[0, elapsed]`` with ``start <= end``, and the
+    send events reproduce each rank's ``bytes_sent``/``messages_sent``
+    counters exactly.
+    """
+    trace = result.trace
+    if trace.events is None:
+        return []
+    violations = []
+    sent_bytes = np.zeros(trace.nranks, dtype=np.int64)
+    sent_msgs = np.zeros(trace.nranks, dtype=np.int64)
+    slack = tolerances.CLOCK_RTOL * max(1.0, result.elapsed)
+    for ev in trace.events:
+        if ev.start > ev.end:
+            violations.append(f"event {ev}: start > end")
+        if ev.start < -slack or ev.end > result.elapsed + slack:
+            violations.append(
+                f"event {ev}: outside the run window [0, {result.elapsed}]"
+            )
+        if ev.kind == "send":
+            sent_bytes[ev.rank] += ev.nbytes
+            sent_msgs[ev.rank] += 1
+    for rank, acct in enumerate(trace.ranks):
+        if sent_bytes[rank] != acct.bytes_sent:
+            violations.append(
+                f"events vs accounting: rank {rank} send events total "
+                f"{int(sent_bytes[rank])} bytes but bytes_sent is "
+                f"{acct.bytes_sent}"
+            )
+        if sent_msgs[rank] != acct.messages_sent:
+            violations.append(
+                f"events vs accounting: rank {rank} has {int(sent_msgs[rank])} "
+                f"send events but messages_sent is {acct.messages_sent}"
+            )
+    return violations
+
+
+def check_comm_matrix_symmetry(trace: Trace) -> List[str]:
+    """Pairwise-exchange patterns move equal bytes in both directions.
+
+    Only valid for symmetric communication patterns (halo exchange,
+    pairwise all-to-all) — ring and tree collectives legitimately fail
+    this, so callers opt in.  Requires recorded events.
+    """
+    from repro.parallel.timeline import communication_matrix
+
+    mat = communication_matrix(trace)
+    if np.array_equal(mat, mat.T):
+        return []
+    bad = np.argwhere(mat != mat.T)
+    i, j = (int(v) for v in bad[0])
+    return [
+        f"comm-matrix symmetry: {bad.shape[0]} asymmetric entries, e.g. "
+        f"{i}->{j} sent {mat[i, j]:.0f} B but {j}->{i} sent {mat[j, i]:.0f} B"
+    ]
+
+
+def check_sim_result(result: SimResult, symmetric: bool = False) -> List[str]:
+    """Run every applicable invariant on one simulation result."""
+    violations = []
+    violations += check_bytes_conservation(result.trace)
+    violations += check_clock_identity(result)
+    violations += check_events(result)
+    if symmetric:
+        violations += check_comm_matrix_symmetry(result.trace)
+    return violations
+
+
+def assert_sim_invariants(
+    result: SimResult, symmetric: bool = False, label: Optional[str] = None
+) -> None:
+    """Raise :class:`InvariantViolation` listing every failed law."""
+    violations = check_sim_result(result, symmetric=symmetric)
+    if violations:
+        prefix = f"[{label}] " if label else ""
+        raise InvariantViolation(
+            prefix
+            + f"{len(violations)} simulator invariant(s) violated:\n  - "
+            + "\n  - ".join(violations)
+        )

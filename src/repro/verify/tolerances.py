@@ -1,0 +1,60 @@
+"""Named floating-point comparison tolerances for the whole test suite.
+
+The repo compares paired implementations everywhere — serial vs parallel
+AGCM fields, convolution vs FFT filters, distributed vs library FFTs,
+balancer load vectors, virtual-clock accounting — and each comparison
+class has a characteristic error budget.  Collecting the budgets here
+(instead of scattering ``atol=1e-10`` literals through the tests) makes
+the tolerance *policy* reviewable in one place and lets the differential
+harness reuse the exact same constants.
+
+Guidance for choosing a constant:
+
+* ``EXACT``            — bitwise-identical paths (same kernels, same
+  order of operations); use ``assert_array_equal`` or atol 0.
+* ``FIELD_ATOL``       — prognostic fields of O(1..100) magnitude after a
+  handful of steps through algebraically identical but differently
+  ordered arithmetic (serial vs gathered parallel state).
+* ``FILTER_ATOL``      — one filtering pass: convolution vs FFT agree to
+  the convolution theorem, with O(N) rounding accumulation.
+* ``KERNEL_ATOL``      — single-kernel rewrites (pointwise multiply,
+  advection variants): a few flops of reordering only.
+* ``FFT_ATOL``         — radix-2 hand-rolled transforms vs numpy's FFT.
+* ``LOAD_RTOL``        — load-balancer work accounting (sums of O(P)
+  positive numbers).
+* ``CLOCK_RTOL``       — virtual-time accounting identities, where the
+  same addends are summed in different orders.
+"""
+
+from __future__ import annotations
+
+#: Bitwise-identical code paths; no tolerance.
+EXACT = 0.0
+
+#: Serial vs parallel AGCM prognostic fields (O(1..1e2) magnitudes).
+FIELD_ATOL = 1e-10
+#: Looser field tolerance for longer randomized runs (differential suite).
+FIELD_ATOL_LOOSE = 1e-9
+
+#: One polar-filtering pass, convolution form vs FFT form.
+FILTER_ATOL = 1e-10
+#: Filter transfer/kernel construction identities (tiny, O(N) sums).
+SPECTRAL_ATOL = 1e-12
+
+#: Hand-rolled radix-2 FFTs (serial or distributed) vs numpy reference.
+FFT_ATOL = 1e-10
+
+#: Single-kernel rewrites: pointwise multiply, advection loop variants.
+KERNEL_ATOL = 1e-12
+
+#: Load-balancer conservation / replay identities (relative).
+LOAD_RTOL = 1e-9
+
+#: Virtual-clock accounting identities (relative).
+CLOCK_RTOL = 1e-9
+#: Absolute floor for clock identities involving near-zero times.
+CLOCK_ATOL = 1e-12
+
+#: Default differential-engine tolerances when a pair does not override.
+DIFF_ATOL = 1e-9
+DIFF_RTOL = 1e-9

@@ -15,6 +15,7 @@ from repro.core.distributed_fft import (
 )
 from repro.grid import Decomposition2D, SphericalGrid
 from repro.parallel import GENERIC, ProcessorMesh, Simulator
+from repro.verify import tolerances
 
 
 class TestBitReversal:
@@ -45,7 +46,7 @@ class TestSerialTransforms:
         x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
         got = fft_dif_bitrev(x)
         ref = np.fft.fft(x)[bit_reverse_indices(n)]
-        np.testing.assert_allclose(got, ref, atol=1e-10)
+        np.testing.assert_allclose(got, ref, atol=tolerances.FFT_ATOL)
 
     @given(logn=st.integers(1, 7), seed=st.integers(0, 100))
     @settings(max_examples=30, deadline=None)
@@ -54,12 +55,12 @@ class TestSerialTransforms:
         rng = np.random.default_rng(seed)
         x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
         np.testing.assert_allclose(ifft_dit_bitrev(fft_dif_bitrev(x)), x,
-                                   atol=1e-10)
+                                   atol=tolerances.FFT_ATOL)
 
     def test_batched_axis0(self, rng):
         x = rng.standard_normal((16, 4))
         ref = np.fft.fft(x, axis=0)[bit_reverse_indices(16)]
-        np.testing.assert_allclose(fft_dif_bitrev(x), ref, atol=1e-10)
+        np.testing.assert_allclose(fft_dif_bitrev(x), ref, atol=tolerances.FFT_ATOL)
 
     def test_rejects_non_power_length(self):
         with pytest.raises(ValueError):
@@ -87,7 +88,7 @@ class TestBitrevTransfer:
         via_rfft = np.fft.irfft(np.fft.rfft(line) * t, n=n)
         spec = fft_dif_bitrev(line) * bitrev_transfer(t, n)
         via_dif = ifft_dit_bitrev(spec).real
-        np.testing.assert_allclose(via_dif, via_rfft, atol=1e-10)
+        np.testing.assert_allclose(via_dif, via_rfft, atol=tolerances.FFT_ATOL)
 
     def test_bin_count_checked(self):
         with pytest.raises(ValueError):
@@ -148,7 +149,7 @@ class TestDistributedBackend:
             got = decomp.gather(
                 [res.returns[r][n] for r in range(mesh.size)]
             )
-            np.testing.assert_allclose(got, ref[n], atol=1e-10)
+            np.testing.assert_allclose(got, ref[n], atol=tolerances.FFT_ATOL)
 
     def test_log_p_message_rounds(self, setup):
         """2 log2(P) block exchanges per rank per filtering pass."""

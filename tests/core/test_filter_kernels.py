@@ -13,6 +13,7 @@ from repro.core.convolution import (
 from repro.core.fft import fft_filter_flop_count, fft_filter_line, fft_filter_rows
 from repro.core.spectral import strong_filter, weak_filter
 from repro.grid.sphere import SphericalGrid
+from repro.verify import tolerances
 
 
 class TestCirculant:
@@ -36,7 +37,7 @@ class TestCirculant:
         ref = np.real(
             np.fft.ifft(np.fft.fft(kernel) * np.fft.fft(line))
         )
-        np.testing.assert_allclose(ours, ref, atol=1e-12)
+        np.testing.assert_allclose(ours, ref, atol=tolerances.SPECTRAL_ATOL)
 
     def test_multilayer_lines(self, rng):
         kernel = rng.standard_normal(8)
@@ -65,7 +66,7 @@ class TestFilterRows:
         for pfilter in (strong_filter(small_grid), weak_filter(small_grid)):
             a = fft_filter_rows(field, pfilter)
             b = convolution_filter_rows(field, pfilter)
-            np.testing.assert_allclose(a, b, atol=1e-10)
+            np.testing.assert_allclose(a, b, atol=tolerances.FILTER_ATOL)
 
     def test_filter_is_projection_like(self, small_grid, rng):
         """Applying twice damps at least as much as once, never amplifies."""
@@ -77,15 +78,15 @@ class TestFilterRows:
         def power(x):
             spec = np.fft.rfft(x[j])
             return np.abs(spec[1:])
-        assert np.all(power(twice) <= power(once) + 1e-12)
-        assert np.all(power(once) <= power(field) + 1e-12)
+        assert np.all(power(twice) <= power(once) + tolerances.SPECTRAL_ATOL)
+        assert np.all(power(once) <= power(field) + tolerances.SPECTRAL_ATOL)
 
     def test_zonal_mean_preserved(self, small_grid, rng):
         """Mass conservation through the filter (s = 0 untouched)."""
         field = rng.standard_normal((small_grid.nlat, small_grid.nlon))
         out = fft_filter_rows(field, strong_filter(small_grid))
         np.testing.assert_allclose(
-            out.mean(axis=1), field.mean(axis=1), atol=1e-12
+            out.mean(axis=1), field.mean(axis=1), atol=tolerances.SPECTRAL_ATOL
         )
 
     def test_explicit_row_selection(self, small_grid, rng):
@@ -121,7 +122,7 @@ class TestFilterRows:
         np.testing.assert_allclose(
             fft_filter_rows(field, f),
             convolution_filter_rows(field, f),
-            atol=1e-10,
+            atol=tolerances.FILTER_ATOL,
         )
 
 

@@ -11,6 +11,7 @@ from repro.core import (
 )
 from repro.grid import Decomposition2D, SphericalGrid
 from repro.parallel import GENERIC, ProcessorMesh, Simulator
+from repro.verify import tolerances
 
 
 @pytest.fixture(scope="module")
@@ -52,7 +53,7 @@ class TestSerialEquivalence:
         conv = {n: f.copy() for n, f in fields.items()}
         apply_serial_filter(plan, conv, method="convolution")
         for n in fields:
-            np.testing.assert_allclose(conv[n], reference[n], atol=1e-10)
+            np.testing.assert_allclose(conv[n], reference[n], atol=tolerances.FILTER_ATOL)
 
     @pytest.mark.parametrize("backend", FILTER_BACKENDS)
     @pytest.mark.parametrize(
@@ -63,7 +64,7 @@ class TestSerialEquivalence:
         gathered, _ = _run_backend(grid, fields, plan, backend, mesh_dims)
         for n in fields:
             np.testing.assert_allclose(
-                gathered[n], reference[n], atol=1e-10,
+                gathered[n], reference[n], atol=tolerances.FILTER_ATOL,
                 err_msg=f"{backend} {mesh_dims} field {n}",
             )
 
@@ -72,7 +73,7 @@ class TestSerialEquivalence:
         grid, fields, plan, reference = setup
         gathered, _ = _run_backend(grid, fields, plan, "fft-lb", (4, 5))
         for n in fields:
-            np.testing.assert_allclose(gathered[n], reference[n], atol=1e-10)
+            np.testing.assert_allclose(gathered[n], reference[n], atol=tolerances.FILTER_ATOL)
 
 
 class TestCommunicationStructure:

@@ -43,6 +43,58 @@ class TestSubdomains:
         assert decomp.lat_bounds_of_proc_row(2)[1] == 10
 
 
+#: Random grid/mesh sizes constrained so the mesh fits the grid.
+_grid_and_mesh = st.tuples(
+    st.integers(4, 40), st.integers(4, 40),
+    st.integers(1, 6), st.integers(1, 6),
+).filter(lambda t: t[0] >= t[2] and t[1] >= t[3])
+
+
+class TestDecompositionProperties:
+    """Satellite properties over seeded random sizes."""
+
+    @given(dims=_grid_and_mesh)
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_tile_grid_exactly_once(self, dims):
+        nlat, nlon, m, n = dims
+        decomp = Decomposition2D(nlat, nlon, ProcessorMesh(m, n))
+        covered = np.zeros((nlat, nlon), dtype=int)
+        for sub in decomp.subdomains():
+            covered[sub.lat_slice, sub.lon_slice] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    @given(dims=_grid_and_mesh)
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_balanced_within_one_per_axis(self, dims):
+        nlat, nlon, m, n = dims
+        decomp = Decomposition2D(nlat, nlon, ProcessorMesh(m, n))
+        lat_sizes = {s.nlat for s in decomp.subdomains()}
+        lon_sizes = {s.nlon for s in decomp.subdomains()}
+        assert max(lat_sizes) - min(lat_sizes) <= 1
+        assert max(lon_sizes) - min(lon_sizes) <= 1
+        assert all(s.nlat > 0 and s.nlon > 0 for s in decomp.subdomains())
+
+    @given(dims=_grid_and_mesh, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_owner_of_point_matches_subdomain(self, dims, data):
+        nlat, nlon, m, n = dims
+        decomp = Decomposition2D(nlat, nlon, ProcessorMesh(m, n))
+        glat = data.draw(st.integers(0, nlat - 1))
+        glon = data.draw(st.integers(0, nlon - 1))
+        sub = decomp.subdomain(decomp.owner_of_point(glat, glon))
+        assert sub.lat0 <= glat < sub.lat1
+        assert sub.lon0 <= glon < sub.lon1
+
+    @given(dims=_grid_and_mesh)
+    @settings(max_examples=40, deadline=None)
+    def test_counts_conserve_grid_points(self, dims):
+        nlat, nlon, m, n = dims
+        decomp = Decomposition2D(nlat, nlon, ProcessorMesh(m, n))
+        counts = decomp.counts()
+        assert len(counts) == m * n
+        assert sum(counts.values()) == nlat * nlon
+
+
 class TestScatterGather:
     @given(
         nlat=st.integers(4, 20),

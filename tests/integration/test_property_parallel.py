@@ -19,6 +19,7 @@ from repro.model import make_config
 from repro.model.agcm import AGCM
 from repro.model.parallel_agcm import agcm_rank_program
 from repro.parallel import GENERIC, PARAGON, ProcessorMesh, Simulator
+from repro.verify import tolerances
 
 
 @given(
@@ -63,7 +64,7 @@ def test_parallel_filter_equals_serial_property(
             [res.returns[r][name] for r in range(mesh.size)]
         )
         np.testing.assert_allclose(
-            gathered, reference[name], atol=1e-9,
+            gathered, reference[name], atol=tolerances.FIELD_ATOL_LOOSE,
             err_msg=f"{backend} on {m}x{n} mesh, field {name}",
         )
 
@@ -93,7 +94,7 @@ def test_parallel_agcm_equals_serial_property(m, n, lb, vdiff):
         gathered = decomp.gather(
             [res.returns[r]["fields"][name] for r in range(mesh.size)]
         )
-        np.testing.assert_allclose(gathered, want, atol=1e-10)
+        np.testing.assert_allclose(gathered, want, atol=tolerances.FIELD_ATOL)
 
 
 @pytest.mark.parametrize("backend", ["fft-lb"])
@@ -114,4 +115,4 @@ def test_paper_resolution_equivalence(backend):
         gathered = decomp.gather(
             [res.returns[r]["fields"][name] for r in range(mesh.size)]
         )
-        np.testing.assert_allclose(gathered, want, atol=1e-9, err_msg=name)
+        np.testing.assert_allclose(gathered, want, atol=tolerances.FIELD_ATOL_LOOSE, err_msg=name)

@@ -8,6 +8,7 @@ from repro.model.agcm import AGCM
 from repro.model.config import make_config
 from repro.model.parallel_agcm import agcm_rank_program
 from repro.parallel import PARAGON, T3D, ProcessorMesh, Simulator
+from repro.verify import tolerances
 
 NSTEPS = 9  # two physics calls on the tiny config (every 4 steps)
 
@@ -47,7 +48,7 @@ class TestEquivalence:
         gathered = _gather_fields(cfg2, dims, res, decomp)
         for name, want in ref.items():
             np.testing.assert_allclose(
-                gathered[name], want, atol=1e-10,
+                gathered[name], want, atol=tolerances.FIELD_ATOL,
                 err_msg=f"{backend} {dims} field {name}",
             )
 
@@ -62,7 +63,7 @@ class TestEquivalence:
         )
         gathered = _gather_fields(cfg2, (3, 2), res, decomp)
         for name, want in ref.items():
-            np.testing.assert_allclose(gathered[name], want, atol=1e-10)
+            np.testing.assert_allclose(gathered[name], want, atol=tolerances.FIELD_ATOL)
         moved = sum(r["columns_moved"] for r in res.returns)
         assert moved > 0  # the balancer really ran
 

@@ -54,6 +54,33 @@ class TestBlockBounds:
             assert a1 == b0
 
 
+class TestExactCoverage:
+    """Satellite property: a partition covers the range exactly once."""
+
+    @given(n=st.integers(0, 800), parts=st.integers(1, 48))
+    def test_every_index_owned_exactly_once(self, n, parts):
+        bounds = block_bounds(n, parts)
+        coverage = [0] * n
+        for lo, hi in bounds:
+            for i in range(lo, hi):
+                coverage[i] += 1
+        assert all(c == 1 for c in coverage)
+
+    @given(n=st.integers(1, 800), parts=st.integers(1, 48))
+    def test_owner_counts_match_partition_sizes(self, n, parts):
+        sizes = block_partition(n, parts)
+        counts = [0] * parts
+        for i in range(n):
+            counts[owner_of(i, n, parts)] += 1
+        assert counts == sizes
+
+    @given(n=st.integers(0, 800), parts=st.integers(1, 48))
+    def test_bounds_and_sizes_agree(self, n, parts):
+        sizes = block_partition(n, parts)
+        bounds = block_bounds(n, parts)
+        assert [hi - lo for lo, hi in bounds] == sizes
+
+
 class TestOwnerOf:
     @given(n=st.integers(1, 500), parts=st.integers(1, 32),
            data=st.data())

@@ -1,0 +1,24 @@
+"""Sanity checks on the central tolerance policy."""
+
+from __future__ import annotations
+
+from repro.verify import tolerances
+
+
+def test_exact_means_exact():
+    assert tolerances.EXACT == 0.0
+
+
+def test_all_tolerances_are_small_nonnegative_floats():
+    for name in dir(tolerances):
+        if name.isupper():
+            value = getattr(tolerances, name)
+            assert isinstance(value, float), name
+            assert 0.0 <= value < 1e-6, f"{name}={value} is not a tight tolerance"
+
+
+def test_policy_ordering():
+    # single kernels are tighter than accumulated field comparisons
+    assert tolerances.KERNEL_ATOL < tolerances.FIELD_ATOL
+    assert tolerances.SPECTRAL_ATOL < tolerances.FILTER_ATOL
+    assert tolerances.FIELD_ATOL < tolerances.FIELD_ATOL_LOOSE
