@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fault injection, checkpoint/restart, and straggler mitigation.
+
+Part 1 builds a seeded FaultPlan and shows the determinism contract:
+the same plan produces the identical trace, drop for drop.
+
+Part 2 runs the parallel AGCM through message drops and a mid-run rank
+failure, restarting from coordinated checkpoints, and verifies the
+recovered fields are bit-for-bit equal to a fault-free serial run.
+
+Part 3 makes one rank compute 2x slower and compares the static physics
+balancer against measured-time scheme-3 rebalancing.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    LinkFault,
+    RankFailure,
+    run_straggler_demo,
+)
+from repro.faults.checkpoint import run_agcm_with_recovery
+from repro.grid import Decomposition2D
+from repro.model import make_config
+from repro.model.agcm import AGCM
+from repro.model.parallel_agcm import agcm_rank_program
+from repro.parallel import ProcessorMesh, Simulator, T3D
+
+
+def part1_determinism() -> None:
+    print("=" * 72)
+    print("Part 1: a seeded fault plan is a reproducible test case")
+    print("=" * 72)
+    plan = FaultPlan.from_spec(
+        FaultSpec(stragglers=1, slowdown_factor=2.0, drop_rate=0.02,
+                  failures=1),
+        nranks=4, seed=42, horizon=2.0,
+    )
+    print(plan.describe())
+
+    # drop decisions are a pure hash of (seed, src, dst, seq, attempt):
+    drops = [plan.plan_delivery(0, 1, seq, 0.0, 1e-4).retransmissions
+             for seq in range(2000)]
+    again = [plan.plan_delivery(0, 1, seq, 0.0, 1e-4).retransmissions
+             for seq in range(2000)]
+    assert drops == again
+    print(f"\n2000 planned deliveries on link 0->1: "
+          f"{sum(1 for d in drops if d)} dropped at least once "
+          f"({100 * sum(1 for d in drops if d) / 2000:.1f}% ~ 2% rate), "
+          "identical on replay\n")
+
+
+def part2_checkpoint_recovery() -> None:
+    print("=" * 72)
+    print("Part 2: rank failure mid-run -> restart from checkpoint")
+    print("=" * 72)
+    cfg = make_config("tiny", physics_every=2)
+    nsteps = 8
+    mesh = ProcessorMesh(2, 2)
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+
+    # probe the fault-free makespan so the failure lands mid-run
+    probe = Simulator(mesh.size, T3D).run(
+        agcm_rank_program, cfg, decomp, nsteps, False
+    )
+    plan = FaultPlan(
+        seed=7,
+        link_faults=(LinkFault(drop_rate=0.01),),
+        failures=(RankFailure(rank=2, at=0.55 * probe.elapsed),),
+    )
+    with tempfile.TemporaryDirectory() as td:
+        out = run_agcm_with_recovery(
+            cfg, decomp, nsteps, T3D, faults=plan,
+            checkpoint_every=3, checkpoint_path=Path(td) / "agcm.npz",
+        )
+    print(f"fault-free makespan        : {probe.elapsed:.3f} virtual s")
+    print(f"with failure + recovery    : {out.total_elapsed:.3f} virtual s")
+    print(f"failures (rank, time)      : {out.failures}")
+    print(f"attempts started at steps  : {out.resumed_steps}")
+    print(f"checkpoints written        : {out.checkpoints_written}")
+
+    serial = AGCM(cfg)
+    serial.initialize()
+    serial.run(nsteps)
+    worst = 0.0
+    for name, want in serial.state.fields().items():
+        got = decomp.gather(
+            [out.result.returns[r]["fields"][name] for r in range(mesh.size)]
+        )
+        worst = max(worst, float(np.abs(got - want).max()))
+    print(f"max |recovered - serial|   : {worst:g}  (bit-for-bit)\n")
+    assert worst == 0.0
+
+
+def part3_straggler() -> None:
+    print("=" * 72)
+    print("Part 3: a 2x straggler vs measured-time scheme-3 rebalancing")
+    print("=" * 72)
+    static = run_straggler_demo(mitigate=False)
+    mitigated = run_straggler_demo(mitigate=True)
+    print(f"{'balancer':28s} {'imbalance':>10s} {'moved':>6s} {'makespan':>9s}")
+    for label, d in (("static decomposition", static),
+                     ("measured-time scheme 3", mitigated)):
+        print(f"{label:28s} {100 * d['imbalance']:9.1f}% "
+              f"{d['columns_moved']:6d} {d['elapsed']:8.2f}s")
+    print("\nThe balancer sees the straggler in its measured per-column "
+          "rate and ships\ncolumns away from it — no machine model "
+          "knowledge, only virtual timings.")
+
+
+if __name__ == "__main__":
+    part1_determinism()
+    part2_checkpoint_recovery()
+    part3_straggler()

@@ -12,6 +12,7 @@ Usage::
 
 from __future__ import annotations
 
+import difflib
 import sys
 import time
 
@@ -42,11 +43,17 @@ def main(argv: list[str] | None = None) -> int:
             print(generate_report(quick=quick))
         return 0
     idents = sorted(EXPERIMENTS) if args == ["all"] else args
-    for ident in idents:
-        if ident not in EXPERIMENTS:
-            print(f"unknown experiment {ident!r}; try 'list'",
+    # Validate everything up front so a typo late in the list cannot
+    # waste the minutes the earlier experiments take.
+    unknown = [ident for ident in idents if ident not in EXPERIMENTS]
+    if unknown:
+        for ident in unknown:
+            close = difflib.get_close_matches(ident, EXPERIMENTS, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            print(f"unknown experiment {ident!r}{hint} (try 'list')",
                   file=sys.stderr)
-            return 2
+        return 2
+    for ident in idents:
         start = time.time()
         result = run_experiment(ident)
         print(result.render())

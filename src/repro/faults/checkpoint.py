@@ -1,0 +1,300 @@
+"""Coordinated checkpoint/restart of the parallel AGCM under faults.
+
+A checkpoint is *step-consistent*: every rank contributes its block of
+the prognostic state at the same step boundary, the blocks funnel to
+rank 0 through a binomial gather (real messages, real cost), and rank 0
+writes one lossless ``.npz`` archive, charged at the
+:mod:`repro.model.parallel_io` host-I/O rate.  Because the snapshot
+holds *both* leapfrog levels plus the persistent physics forcing and
+the balancer's measurement state, a restarted integration replays the
+remaining steps bit-for-bit — the property the fault-recovery
+differential pair asserts against the fault-free serial model.
+
+:func:`run_agcm_with_recovery` is the driver: it runs the AGCM under a
+:class:`~repro.faults.plan.FaultPlan`, and when an injected rank
+failure aborts the simulation it restarts from the last checkpoint
+(cold-start from step 0 if none exists) with that failure consumed, so
+a transient fault does not re-fire when virtual clocks reset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dynamics.state import PROGNOSTIC_NAMES
+from repro.grid.decomposition import Decomposition2D
+from repro.model.config import AGCMConfig
+from repro.model.parallel_agcm import agcm_rank_program
+from repro.model.parallel_io import IO_BANDWIDTH, io_read_seconds, io_write_seconds
+from repro.parallel import collectives as coll
+from repro.parallel.machine import MachineModel
+from repro.parallel.scheduler import RankFailedError, Simulator
+from repro.parallel.trace import SimResult
+
+_TAG_CKPT_BARRIER = 0x00EE0002
+
+
+@dataclass
+class CheckpointData:
+    """One step-consistent global snapshot of the parallel AGCM.
+
+    ``now``/``prev`` are the two leapfrog levels (global arrays),
+    ``forcing_pt``/``forcing_q`` the persistent physics forcing, and
+    ``counters`` the per-rank restart bookkeeping (load measurement,
+    physics-call and column-movement counts).
+    """
+
+    step: int
+    time: float
+    now: Dict[str, np.ndarray]
+    prev: Dict[str, np.ndarray]
+    forcing_pt: np.ndarray
+    forcing_q: np.ndarray
+    counters: List[dict]
+
+    def total_nbytes(self) -> int:
+        """Bytes of array state in the snapshot (the I/O charge basis)."""
+        n = self.forcing_pt.nbytes + self.forcing_q.nbytes
+        n += sum(a.nbytes for a in self.now.values())
+        n += sum(a.nbytes for a in self.prev.values())
+        return int(n)
+
+    def scatter_state(self, ctx, decomp: Decomposition2D,
+                      io_bandwidth: float = IO_BANDWIDTH):
+        """Generator: rank 0 charges the host read and scatters blocks.
+
+        Returns each rank's restart bundle: local ``now``/``prev``
+        fields, forcing blocks, model time, start step and counters.
+        """
+        if ctx.rank == 0:
+            yield from ctx.compute(
+                seconds=io_read_seconds(self.total_nbytes(), io_bandwidth)
+            )
+            blocks_now = {
+                n: decomp.scatter(self.now[n]) for n in PROGNOSTIC_NAMES
+            }
+            blocks_prev = {
+                n: decomp.scatter(self.prev[n]) for n in PROGNOSTIC_NAMES
+            }
+            blocks_fpt = decomp.scatter(self.forcing_pt)
+            blocks_fq = decomp.scatter(self.forcing_q)
+            payloads = [
+                {
+                    "now": {
+                        n: np.ascontiguousarray(blocks_now[n][r])
+                        for n in PROGNOSTIC_NAMES
+                    },
+                    "prev": {
+                        n: np.ascontiguousarray(blocks_prev[n][r])
+                        for n in PROGNOSTIC_NAMES
+                    },
+                    "forcing_pt": np.ascontiguousarray(blocks_fpt[r]),
+                    "forcing_q": np.ascontiguousarray(blocks_fq[r]),
+                    "time": self.time,
+                    "step": self.step,
+                    "counters": self.counters[r],
+                }
+                for r in range(ctx.size)
+            ]
+            mine = yield from ctx.scatter(payloads, root=0)
+        else:
+            mine = yield from ctx.scatter(None, root=0)
+        return mine
+
+
+def save_checkpoint(path, data: CheckpointData) -> Path:
+    """Write a snapshot to ``path`` as a lossless ``.npz`` archive."""
+    path = Path(path)
+    arrays = {f"now_{n}": data.now[n] for n in PROGNOSTIC_NAMES}
+    arrays.update({f"prev_{n}": data.prev[n] for n in PROGNOSTIC_NAMES})
+    arrays["forcing_pt"] = data.forcing_pt
+    arrays["forcing_q"] = data.forcing_q
+    meta = {"step": data.step, "time": data.time, "counters": data.counters}
+    arrays["meta"] = np.array(json.dumps(meta))
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def load_checkpoint(path) -> CheckpointData:
+    """Read a snapshot written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as z:
+        meta = json.loads(str(z["meta"]))
+        counters = []
+        for c in meta["counters"]:
+            c = dict(c)
+            if c.get("measure") is not None:
+                c["measure"] = tuple(c["measure"])
+            counters.append(c)
+        return CheckpointData(
+            step=int(meta["step"]),
+            time=float(meta["time"]),
+            now={n: z[f"now_{n}"].copy() for n in PROGNOSTIC_NAMES},
+            prev={n: z[f"prev_{n}"].copy() for n in PROGNOSTIC_NAMES},
+            forcing_pt=z["forcing_pt"].copy(),
+            forcing_q=z["forcing_q"].copy(),
+            counters=counters,
+        )
+
+
+class Checkpointer:
+    """Periodic coordinated checkpoints every ``every`` steps.
+
+    One instance is shared by all rank programs of a run (rank 0 is the
+    only writer).  The file at ``path`` always holds the most recent
+    snapshot; :meth:`load` returns it for a restart.
+    """
+
+    def __init__(self, every: int, path, io_bandwidth: float = IO_BANDWIDTH):
+        if every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {every}")
+        self.every = every
+        self.path = Path(path)
+        if self.path.suffix != ".npz":
+            self.path = self.path.with_suffix(self.path.suffix + ".npz")
+        self.io_bandwidth = io_bandwidth
+        self.written = 0
+        self.last_step: Optional[int] = None
+
+    def due(self, step: int, nsteps: int) -> bool:
+        """Checkpoint after ``step``?  (Never after the final step — a
+        snapshot nothing could restart into is pure overhead.)"""
+        done = step + 1
+        return done % self.every == 0 and done < nsteps
+
+    def load(self) -> Optional[CheckpointData]:
+        """The most recent snapshot, or None if nothing was written."""
+        if not self.written:
+            return None
+        return load_checkpoint(self.path)
+
+    def save(self, ctx, decomp: Decomposition2D, cfg: AGCMConfig, *,
+             step: int, time_now: float,
+             now: Dict[str, np.ndarray], prev: Dict[str, np.ndarray],
+             forcing_pt: np.ndarray, forcing_q: np.ndarray,
+             counters: dict):
+        """Generator: gather every rank's block to rank 0 and write.
+
+        All ranks synchronise on a barrier afterwards — the coordinated
+        checkpoint is a global pause whose cost (gather messages plus
+        rank-0 host write) lands in the ``"checkpoint"`` trace phase.
+        """
+        payload = {
+            f"now_{n}": np.ascontiguousarray(now[n]) for n in PROGNOSTIC_NAMES
+        }
+        payload.update({
+            f"prev_{n}": np.ascontiguousarray(prev[n])
+            for n in PROGNOSTIC_NAMES
+        })
+        payload["forcing_pt"] = np.ascontiguousarray(forcing_pt)
+        payload["forcing_q"] = np.ascontiguousarray(forcing_q)
+        payload["counters"] = counters
+        gathered = yield from coll.gather_binomial(ctx, payload, root=0)
+        if ctx.rank == 0:
+            def assemble(key: str) -> np.ndarray:
+                return decomp.gather(
+                    [gathered[r][key] for r in range(ctx.size)]
+                )
+
+            data = CheckpointData(
+                step=step,
+                time=time_now,
+                now={n: assemble(f"now_{n}") for n in PROGNOSTIC_NAMES},
+                prev={n: assemble(f"prev_{n}") for n in PROGNOSTIC_NAMES},
+                forcing_pt=assemble("forcing_pt"),
+                forcing_q=assemble("forcing_q"),
+                counters=[gathered[r]["counters"] for r in range(ctx.size)],
+            )
+            save_checkpoint(self.path, data)
+            self.written += 1
+            self.last_step = step
+            yield from ctx.compute(
+                seconds=io_write_seconds(data.total_nbytes(), self.io_bandwidth)
+            )
+        yield from ctx.barrier(tag=_TAG_CKPT_BARRIER)
+
+
+@dataclass
+class RecoveryOutcome:
+    """What a fault-tolerant AGCM run went through end to end.
+
+    ``total_elapsed`` charges every attempt: virtual time lost up to
+    each detected failure, plus the successful attempt's makespan.
+    ``resumed_steps`` records each attempt's start step (0 = cold).
+    """
+
+    result: SimResult
+    total_elapsed: float
+    restarts: int
+    failures: List[Tuple[int, float]]
+    resumed_steps: List[int]
+    checkpoints_written: int
+
+
+def run_agcm_with_recovery(
+    cfg: AGCMConfig,
+    decomp: Decomposition2D,
+    nsteps: int,
+    machine: MachineModel,
+    *,
+    faults=None,
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+    record_events: bool = False,
+    return_fields: bool = True,
+    max_restarts: int = 8,
+    restart_overhead: float = 0.0,
+) -> RecoveryOutcome:
+    """Run the parallel AGCM to completion despite injected failures.
+
+    Each :class:`~repro.parallel.scheduler.RankFailedError` consumes
+    that rank's failure from the plan (drops and slowdowns stay active)
+    and restarts from the last checkpoint — or from step 0 if none was
+    written (``checkpoint_every=0`` disables checkpointing entirely).
+    ``restart_overhead`` adds a fixed virtual-time penalty per restart
+    (job-requeue cost).  Raises after ``max_restarts`` failures.
+    """
+    ckpt = None
+    if checkpoint_every:
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_path")
+        ckpt = Checkpointer(checkpoint_every, checkpoint_path)
+    plan = faults
+    resume = None
+    total = 0.0
+    failures: List[Tuple[int, float]] = []
+    resumed_steps = [0]
+    while True:
+        sim = Simulator(
+            decomp.mesh.size, machine,
+            record_events=record_events, faults=plan,
+        )
+        try:
+            res = sim.run(
+                agcm_rank_program, cfg, decomp, nsteps, return_fields,
+                checkpointer=ckpt, resume=resume,
+            )
+        except RankFailedError as exc:
+            failures.append((exc.rank, exc.at))
+            if len(failures) > max_restarts:
+                raise
+            total += exc.at + restart_overhead
+            if plan is not None:
+                plan = plan.without_failure(exc.rank)
+            resume = ckpt.load() if ckpt is not None else None
+            resumed_steps.append(resume.step if resume is not None else 0)
+            continue
+        total += res.elapsed
+        return RecoveryOutcome(
+            result=res,
+            total_elapsed=total,
+            restarts=len(failures),
+            failures=failures,
+            resumed_steps=resumed_steps,
+            checkpoints_written=ckpt.written if ckpt is not None else 0,
+        )

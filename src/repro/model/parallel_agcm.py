@@ -17,7 +17,17 @@ Per step:
 
 Phase names recorded in the trace: ``"physics"``, ``"dynamics"``, and
 within dynamics ``"halo"``, ``"fd"``, ``"filtering"``, ``"update"`` —
-these give the Figure-1 component breakdown directly.
+these give the Figure-1 component breakdown directly.  With periodic
+checkpointing (``checkpointer=``) a ``"checkpoint"`` phase appears, and
+on a resumed run (``resume=``) a ``"restart"`` phase covers the
+read-and-scatter of the last checkpoint (see :mod:`repro.faults`).
+
+The physics load balancer is driven by *measured* per-rank compute
+times (see :mod:`repro.faults.mitigation`): each physics pass records a
+compute-only :class:`~repro.faults.mitigation.LoadMeasurement`, and the
+next pass allgathers them to derive loads — so machine-induced
+imbalance (an injected straggler) is rebalanced away exactly like
+workload-induced imbalance.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from repro.dynamics.tendencies import (
     dynamics_flops,
     dynamics_mem_bytes,
 )
+from repro.faults.mitigation import LoadMeasurement, estimate_rank_loads
 from repro.grid.decomposition import Decomposition2D
 from repro.grid.halo import exchange_halos
 from repro.model.config import AGCMConfig
@@ -60,11 +71,21 @@ def agcm_rank_program(
     decomp: Decomposition2D,
     nsteps: int,
     return_fields: bool = False,
+    checkpointer=None,
+    resume=None,
 ):
     """Generator: run ``nsteps`` AGCM steps on this rank's subdomain.
 
     Returns a summary dict; with ``return_fields=True`` it includes the
     final local prognostic arrays (used by the equivalence tests).
+
+    ``checkpointer`` (a :class:`repro.faults.checkpoint.Checkpointer`)
+    coordinates periodic whole-state checkpoints; ``resume`` (a
+    :class:`repro.faults.checkpoint.CheckpointData`) restarts the
+    integration from a saved step instead of initial conditions.  Both
+    charge their full gather/scatter + host-I/O cost to the machine.
+    The restarted trajectory is bit-identical to an uninterrupted run:
+    the checkpoint holds both leapfrog levels and the physics forcing.
     """
     grid = cfg.make_grid()
     mesh = decomp.mesh
@@ -85,18 +106,37 @@ def agcm_rank_program(
     forcing_q = np.zeros_like(forcing_pt)
 
     # Physics-LB state: static column counts are exchanged once at setup;
-    # load estimates are the measured previous physics pass.
+    # load estimates derive from the measured previous physics pass.
     all_ncols: Optional[List[int]] = None
-    my_phys_seconds: Optional[float] = None
+    my_measure: Optional[LoadMeasurement] = None
     physics_calls = 0
     columns_moved_total = 0
+    phys_compute_seconds = 0.0  # compute-only, every physics call
+    phys_compute_steady = 0.0   # compute-only, calls after the first
 
     time_now = 0.0
-    for step in range(nsteps):
+    start_step = 0
+    if resume is not None:
+        with ctx.region("restart"):
+            mine = yield from resume.scatter_state(ctx, decomp)
+        now = mine["now"]
+        prev = mine["prev"]
+        forcing_pt = mine["forcing_pt"]
+        forcing_q = mine["forcing_q"]
+        time_now = mine["time"]
+        start_step = mine["step"]
+        counters = mine["counters"]
+        if counters["measure"] is not None:
+            my_measure = LoadMeasurement.from_tuple(counters["measure"])
+        physics_calls = counters["physics_calls"]
+        columns_moved_total = counters["columns_moved"]
+        phys_compute_seconds = counters["phys_compute_seconds"]
+        phys_compute_steady = counters["phys_compute_steady"]
+
+    for step in range(start_step, nsteps):
         # ---------------- physics ------------------------------------
         if step % cfg.physics_every == 0:
             with ctx.region("physics"):
-                t_phys0 = ctx.clock
                 time_frac = (time_now % c.SECONDS_PER_DAY) / c.SECONDS_PER_DAY
                 cols = ColumnSet.from_block(
                     now["pt"], now["q"], lat_rad_loc, lon_rad_loc
@@ -104,19 +144,29 @@ def agcm_rank_program(
                 use_lb = cfg.physics_lb and mesh.size > 1
                 if use_lb and all_ncols is None:
                     all_ncols = yield from ctx.allgather(cols.ncol)
-                if use_lb and my_phys_seconds is not None:
-                    tend_pt_cols, tend_q_cols, moved = yield from _physics_balanced(
+                if use_lb and my_measure is not None:
+                    (tend_pt_cols, tend_q_cols, moved,
+                     my_measure) = yield from _physics_balanced(
                         ctx, cfg, cols, time_frac, step, all_ncols,
-                        my_phys_seconds,
+                        my_measure,
                     )
                     columns_moved_total += moved
                 else:
                     result = run_physics(cols, time_frac, step, cfg.physics)
+                    t_compute0 = ctx.clock
                     yield from ctx.compute(flops=result.total_flops)
+                    # Compute-only measurement: waits excluded, so a
+                    # machine-induced slowdown is visible to the balancer
+                    # instead of being smeared into everyone's waits.
+                    my_measure = LoadMeasurement(
+                        ctx.clock - t_compute0, cols.ncol, cols.ncol
+                    )
                     tend_pt_cols, tend_q_cols = result.tend_pt, result.tend_q
                 forcing_pt[...] = tend_pt_cols.reshape(sub.nlat, sub.nlon, nlayers)
                 forcing_q[...] = tend_q_cols.reshape(sub.nlat, sub.nlon, nlayers)
-                my_phys_seconds = ctx.clock - t_phys0
+                phys_compute_seconds += my_measure.compute_seconds
+                if physics_calls > 0:
+                    phys_compute_steady += my_measure.compute_seconds
                 physics_calls += 1
 
         # ---------------- dynamics -----------------------------------
@@ -157,12 +207,36 @@ def agcm_rank_program(
                         )
         time_now += dt
 
+        # ---------------- coordinated checkpoint ----------------------
+        if checkpointer is not None and checkpointer.due(step, nsteps):
+            with ctx.region("checkpoint"):
+                yield from checkpointer.save(
+                    ctx, decomp, cfg,
+                    step=step + 1,
+                    time_now=time_now,
+                    now=now, prev=prev,
+                    forcing_pt=forcing_pt, forcing_q=forcing_q,
+                    counters={
+                        "measure": (
+                            my_measure.as_tuple()
+                            if my_measure is not None else None
+                        ),
+                        "physics_calls": physics_calls,
+                        "columns_moved": columns_moved_total,
+                        "phys_compute_seconds": phys_compute_seconds,
+                        "phys_compute_steady": phys_compute_steady,
+                    },
+                )
+
     summary = {
         "rank": ctx.rank,
         "subdomain": (sub.lat0, sub.lat1, sub.lon0, sub.lon1),
         "steps": nsteps,
+        "start_step": start_step,
         "physics_calls": physics_calls,
         "columns_moved": columns_moved_total,
+        "phys_compute_seconds": phys_compute_seconds,
+        "phys_compute_steady": phys_compute_steady,
         "max_wind": float(
             max(np.abs(now["u"]).max(), np.abs(now["v"]).max())
         ),
@@ -208,17 +282,24 @@ def _physics_balanced(
     time_frac: float,
     step: int,
     all_ncols: List[int],
-    my_prev_seconds: float,
+    my_measure: LoadMeasurement,
 ):
     """Scheme-3 balanced physics: move columns, compute, return results.
 
-    Generator; returns ``(tend_pt, tend_q, columns_moved_by_me)`` with the
-    tendency arrays covering this rank's *own* columns in order.
+    Generator; returns ``(tend_pt, tend_q, columns_moved_by_me,
+    new_measure)`` with the tendency arrays covering this rank's *own*
+    columns in order and the compute-only measurement of this pass.
     """
-    # 1. Share the previous-pass measurements (the paper's estimator).
-    loads = yield from ctx.allgather(my_prev_seconds)
+    # 1. Share the previous-pass measurements and project per-column
+    #    rates onto owned columns — rate-based estimation stays stable
+    #    under movement and sees machine slowdowns (stragglers), not
+    #    just workload imbalance.
+    measured = yield from ctx.allgather(my_measure.as_tuple())
+    loads = estimate_rank_loads(
+        [LoadMeasurement.from_tuple(t) for t in measured]
+    )
     flow: ColumnFlowPlan = plan_column_flow(
-        loads, all_ncols, max_passes=cfg.lb_passes
+        [float(x) for x in loads], all_ncols, max_passes=cfg.lb_passes
     )
 
     # 2. Execute the planned column movements, pass by pass.
@@ -248,14 +329,20 @@ def _physics_balanced(
                 work_lat = np.concatenate([work_lat, payload["lat"]])
                 work_lon = np.concatenate([work_lon, payload["lon"]])
 
-    # 3. Compute physics on everything we now hold.
+    # 3. Compute physics on everything we now hold, measuring the
+    #    compute-only seconds for the next pass's estimator.
     held = ColumnSet(pt=work_pt, q=work_q, lat_rad=work_lat, lon_rad=work_lon)
     if held.ncol:
         result = run_physics(held, time_frac, step, cfg.physics)
+        t_compute0 = ctx.clock
         yield from ctx.compute(flops=result.total_flops)
+        new_measure = LoadMeasurement(
+            ctx.clock - t_compute0, held.ncol, cols.ncol
+        )
         tend_pt_held, tend_q_held = result.tend_pt, result.tend_q
     else:
         k = cols.nlayers
+        new_measure = LoadMeasurement(0.0, 0, cols.ncol)
         tend_pt_held = np.zeros((0, k))
         tend_q_held = np.zeros((0, k))
 
@@ -281,4 +368,4 @@ def _physics_balanced(
         start, count = payload["start"], payload["pt"].shape[0]
         tend_pt[start : start + count] = payload["pt"]
         tend_q[start : start + count] = payload["q"]
-    return tend_pt, tend_q, moved_by_me
+    return tend_pt, tend_q, moved_by_me, new_measure

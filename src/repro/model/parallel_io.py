@@ -20,6 +20,22 @@ from repro.grid.decomposition import Decomposition2D
 from repro.io.history import HistoryMetadata, HistoryReader, HistoryWriter
 from repro.model.config import AGCMConfig
 
+#: Host-filesystem cost model for the rank-0 funnel: one serial stream
+#: at mid-90s striped-disk bandwidth plus a fixed per-operation latency.
+#: Checkpoint/restart charge this on top of the gather/scatter messages.
+IO_BANDWIDTH = 50.0e6  # bytes / virtual second
+IO_LATENCY = 5.0e-3    # virtual seconds per file operation
+
+
+def io_write_seconds(nbytes: float, bandwidth: float = IO_BANDWIDTH) -> float:
+    """Virtual seconds rank 0 spends writing ``nbytes`` to the host disk."""
+    return IO_LATENCY + nbytes / bandwidth
+
+
+def io_read_seconds(nbytes: float, bandwidth: float = IO_BANDWIDTH) -> float:
+    """Virtual seconds rank 0 spends reading ``nbytes`` from the host disk."""
+    return IO_LATENCY + nbytes / bandwidth
+
 
 def gather_global_fields(ctx, decomp: Decomposition2D,
                          local_fields: Dict[str, np.ndarray]):
@@ -54,7 +70,8 @@ def checkpoint_parallel(
     """Generator: gather the state and write a history file from rank 0.
 
     Returns the path on rank 0, None elsewhere.  All ranks synchronise
-    afterwards (the write is a global pause, as in the real code).
+    afterwards (the write is a global pause, as in the real code); the
+    host write itself is charged at :func:`io_write_seconds`.
     """
     global_fields = yield from gather_global_fields(ctx, decomp, local_fields)
     result = None
@@ -70,6 +87,8 @@ def checkpoint_parallel(
         )
         writer.append(state)
         result = writer.save()
+        nbytes = sum(arr.nbytes for arr in global_fields.values())
+        yield from ctx.compute(seconds=io_write_seconds(nbytes))
     yield from ctx.barrier(tag=0x00EE0001)
     return result
 
@@ -77,11 +96,16 @@ def checkpoint_parallel(
 def restart_scatter(ctx, decomp: Decomposition2D, path):
     """Generator: rank 0 reads a checkpoint and scatters the blocks.
 
-    Returns ``(local_fields, time)`` on every rank.
+    Returns ``(local_fields, time)`` on every rank.  The host read is
+    charged at :func:`io_read_seconds` before the scatter begins.
     """
     if ctx.rank == 0:
         reader = HistoryReader(path)
         state = reader.last()
+        nbytes = sum(
+            getattr(state, name).nbytes for name in PROGNOSTIC_NAMES
+        )
+        yield from ctx.compute(seconds=io_read_seconds(nbytes))
         blocks = [
             {
                 name: decomp.scatter(getattr(state, name))[r]

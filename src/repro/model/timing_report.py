@@ -40,6 +40,8 @@ class ComponentBreakdown:
     filtering: float
     halo: float
     fd: float
+    retry: float = 0.0
+    checkpoint: float = 0.0
 
     @property
     def dynamics_fraction(self) -> float:
@@ -70,6 +72,8 @@ class ComponentBreakdown:
             filtering=phase("filtering"),
             halo=phase("halo"),
             fd=phase("fd"),
+            retry=phase("retry"),
+            checkpoint=phase("checkpoint"),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -81,4 +85,6 @@ class ComponentBreakdown:
             "filtering": self.filtering,
             "halo": self.halo,
             "fd": self.fd,
+            "retry": self.retry,
+            "checkpoint": self.checkpoint,
         }

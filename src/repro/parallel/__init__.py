@@ -17,7 +17,7 @@ from repro.parallel.machine import (
     make_machine,
 )
 from repro.parallel.comm import GroupComm, VirtualComm
-from repro.parallel.scheduler import DeadlockError, Simulator
+from repro.parallel.scheduler import DeadlockError, RankFailedError, Simulator
 from repro.parallel.timeline import (
     Event,
     busy_fraction,
@@ -45,6 +45,7 @@ __all__ = [
     "VirtualComm",
     "Simulator",
     "DeadlockError",
+    "RankFailedError",
     "ProcessorMesh",
     "Event",
     "communication_matrix",

@@ -54,9 +54,14 @@ class GroupComm:
 
     # -- point to point ----------------------------------------------------
     def send(self, dest: int, payload: Any = None, tag: int = 0,
-             nbytes: Optional[int] = None):
-        """Send ``payload`` to local rank ``dest`` (eager, never blocks)."""
-        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes)
+             nbytes: Optional[int] = None, droppable: bool = True):
+        """Send ``payload`` to local rank ``dest`` (eager, never blocks).
+
+        ``droppable=False`` exempts the message from fault-injected
+        drops (see :mod:`repro.faults`); irrelevant on a perfect machine.
+        """
+        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes,
+                   droppable=droppable)
 
     def recv(self, source: int, tag: int = 0):
         """Blocking receive from local rank ``source``; returns the payload."""
@@ -64,13 +69,14 @@ class GroupComm:
         return payload
 
     def sendrecv(self, dest: int, payload: Any, source: int, tag: int = 0,
-                 nbytes: Optional[int] = None):
+                 nbytes: Optional[int] = None, droppable: bool = True):
         """Paired exchange: send to ``dest`` and receive from ``source``.
 
         Deadlock-free under the eager-send model; returns the received
         payload.
         """
-        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes)
+        yield Send(self.ranks[dest], payload=payload, tag=tag, nbytes=nbytes,
+                   droppable=droppable)
         payload = yield Recv(self.ranks[source], tag=tag)
         return payload
 

@@ -69,12 +69,18 @@ class Send:
     The sender is busy for ``MachineModel.send_busy_time(nbytes)``; the
     message arrives at the destination mailbox at
     ``t_start + MachineModel.message_time(nbytes)``.
+
+    Under fault injection (a ``FaultPlan`` on the simulator) a droppable
+    message may be lost and retransmitted with backoff, delaying its
+    arrival; ``droppable=False`` exempts it (a reliable control channel).
+    On a perfect machine the flag has no effect.
     """
 
     dest: int
     payload: Any = None
     tag: int = 0
     nbytes: Optional[int] = None  # override wire size (cost-only messages)
+    droppable: bool = True
 
     def wire_bytes(self) -> int:
         """Bytes charged on the wire for this message."""

@@ -17,6 +17,14 @@ for the message-passing semantics the AGCM needs:
 Ranks are advanced in ``(clock, rank)`` order, which makes runs fully
 deterministic.  A situation where no rank can progress is a genuine
 communication deadlock and raises :class:`DeadlockError`.
+
+Fault injection: constructing the simulator with a
+:class:`repro.faults.plan.FaultPlan` makes the machine misbehave on a
+seeded, deterministic schedule — compute ops stretch inside slowdown
+windows, messages are dropped and retransmitted with backoff (the
+transport retries; the sender's program never blocks or re-executes),
+and ranks can die mid-run, raising :class:`RankFailedError` ("stop"
+mode) or silently hanging until the run deadlocks ("hang" mode).
 """
 
 from __future__ import annotations
@@ -36,6 +44,21 @@ class DeadlockError(RuntimeError):
     """Raised when every unfinished rank is blocked on a receive/barrier."""
 
 
+class RankFailedError(RuntimeError):
+    """Raised when an injected ``mode="stop"`` rank failure fires.
+
+    Carries the failed ``rank`` and the virtual time ``at`` the failure
+    was detected, so a recovery driver (see
+    :func:`repro.faults.checkpoint.run_agcm_with_recovery`) can account
+    the lost work and restart from the last checkpoint.
+    """
+
+    def __init__(self, rank: int, at: float):
+        super().__init__(f"rank {rank} failed at virtual t={at:.6g} s")
+        self.rank = rank
+        self.at = at
+
+
 class _RankState:
     """Mutable execution state of one rank."""
 
@@ -47,6 +70,7 @@ class _RankState:
         "pending_recv",
         "pending_barrier",
         "done",
+        "failed",
         "retval",
         "send_value",
     )
@@ -59,6 +83,7 @@ class _RankState:
         self.pending_recv: Optional[Tuple[int, int, float]] = None  # (src, tag, post time)
         self.pending_barrier: Optional[Tuple[Tuple[int, ...], int]] = None
         self.done = False
+        self.failed = False  # an injected failure fired on this rank
         self.retval: Any = None
         self.send_value: Any = None  # value to send into the generator next
 
@@ -72,6 +97,11 @@ class Simulator:
         Number of virtual ranks.
     machine:
         The :class:`MachineModel` whose cost functions price every event.
+    faults:
+        Optional :class:`repro.faults.plan.FaultPlan`.  When given, the
+        machine misbehaves on the plan's deterministic schedule: compute
+        slowdowns, message drops with timeout/retransmit (accounted in
+        the trace under the ``"retry"`` phase), and rank failures.
 
     Example
     -------
@@ -89,7 +119,7 @@ class Simulator:
     """
 
     def __init__(self, nranks: int, machine: MachineModel,
-                 record_events: bool = False):
+                 record_events: bool = False, faults=None):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
@@ -97,6 +127,9 @@ class Simulator:
         #: When True, the trace collects per-op timeline events for the
         #: analysis tools in repro.parallel.timeline.
         self.record_events = record_events
+        #: Optional FaultPlan (duck-typed to avoid importing repro.faults
+        #: here); None means a perfect machine.
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> SimResult:
@@ -124,6 +157,15 @@ class Simulator:
         # barrier arrivals: (group, tag) -> list of ranks arrived
         barrier_waiting: Dict[Tuple[Tuple[int, ...], int], List[int]] = defaultdict(list)
 
+        faults = self.faults
+        # per-link message sequence numbers: (src, dst) -> next seq, the
+        # deterministic coordinate of the fault plan's drop decisions
+        link_seq: Dict[Tuple[int, int], int] = defaultdict(int)
+        # pending injected failures: rank -> RankFailure, consumed on fire
+        fail_pending = (
+            {f.rank: f for f in faults.failures} if faults is not None else {}
+        )
+
         ready: List[Tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
 
@@ -134,7 +176,12 @@ class Simulator:
                 details = []
                 for r in blocked:
                     s = states[r]
-                    if s.pending_recv is not None:
+                    if s.failed:
+                        details.append(
+                            f"rank {r} failed (hang) at t={s.clock:.6g} "
+                            "and never recovered"
+                        )
+                    elif s.pending_recv is not None:
                         src, tag, _ = s.pending_recv
                         details.append(f"rank {r} waiting recv(src={src}, tag={tag})")
                     elif s.pending_barrier is not None:
@@ -150,6 +197,17 @@ class Simulator:
 
             # Advance this rank until it blocks or finishes.
             while True:
+                # Injected failures fire at the first op boundary at or
+                # after their scheduled virtual time.
+                if fail_pending:
+                    fault = fail_pending.get(rank)
+                    if fault is not None and state.clock >= fault.at:
+                        del fail_pending[rank]
+                        state.failed = True
+                        if fault.mode == "hang":
+                            state.blocked = True
+                            break
+                        raise RankFailedError(rank, state.clock)
                 try:
                     op = state.gen.send(state.send_value)
                 except StopIteration as stop:
@@ -169,6 +227,10 @@ class Simulator:
                     )
                     if seconds < 0:
                         raise ValueError("Compute seconds must be non-negative")
+                    if faults is not None and seconds > 0:
+                        seconds = faults.stretch_compute(
+                            rank, state.clock, seconds
+                        )
                     if trace.events is not None and seconds > 0:
                         trace.events.append(_Event(
                             rank, "compute", state.clock,
@@ -182,6 +244,19 @@ class Simulator:
                     nbytes = op.wire_bytes()
                     busy = self.machine.send_busy_time(nbytes)
                     arrival = state.clock + self.machine.message_time(nbytes)
+                    if faults is not None and op.droppable:
+                        key = (rank, op.dest)
+                        seq = link_seq[key]
+                        link_seq[key] = seq + 1
+                        delivery = faults.plan_delivery(
+                            rank, op.dest, seq, state.clock,
+                            self.machine.message_time(nbytes),
+                        )
+                        arrival = delivery.arrival
+                        if delivery.drop_times:
+                            self._account_retries(
+                                trace, rank, op.dest, nbytes, busy, delivery
+                            )
                     mailbox[(op.dest, rank, op.tag)].append(
                         (arrival, op.payload, nbytes)
                     )
@@ -277,6 +352,42 @@ class Simulator:
         state.pending_recv = None
         state.blocked = False
         state.send_value = payload
+
+    def _account_retries(
+        self,
+        trace: Trace,
+        rank: int,
+        dest: int,
+        nbytes: int,
+        busy: float,
+        delivery,
+    ) -> None:
+        """Account a faulted message's retransmissions in the trace.
+
+        Retransmits are transport-layer: they never advance the sender's
+        program clock (so the clock-identity invariant is unaffected) but
+        each one is nbytes-accounted and visible as a ``"retry"`` phase /
+        timeline event.  Every failed attempt counts as one drop and one
+        retransmission — the conservation identity is
+        ``sent + retransmitted == received + dropped``.
+        """
+        ndrops = len(delivery.drop_times)
+        acc = trace.ranks[rank]
+        acc.messages_dropped += ndrops
+        acc.bytes_dropped += ndrops * nbytes
+        acc.messages_retransmitted += ndrops
+        acc.bytes_retransmitted += ndrops * nbytes
+        # Attempt 0 is the original send (charged normally); the
+        # retransmissions are attempts 1..ndrops, injected at the failed
+        # attempts' timeout expiries plus the final successful attempt.
+        retry_times = list(delivery.drop_times[1:]) + [delivery.inject_time]
+        for t_retry in retry_times:
+            trace.add_phase_time("retry", rank, busy)
+            if trace.events is not None:
+                trace.events.append(_Event(
+                    rank, "retry", t_retry, t_retry + busy,
+                    peer=dest, nbytes=nbytes,
+                ))
 
     def _release_barrier(
         self,

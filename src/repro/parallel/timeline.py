@@ -26,6 +26,8 @@ SEND = "send"
 RECV_WAIT = "recv_wait"
 RECV = "recv"
 BARRIER = "barrier"
+#: Transport-layer retransmission of a fault-dropped message.
+RETRY = "retry"
 
 
 @dataclass(frozen=True)
@@ -74,7 +76,7 @@ def render_gantt(
     t1: Optional[float] = None,
 ) -> str:
     """A text Gantt chart: '#' compute, '>' send, '.' wait, ':' recv,
-    '|' barrier, ' ' idle/untraced.
+    '|' barrier, '!' retry (retransmission), ' ' idle/untraced.
 
     One row per rank, ``width`` character cells spanning ``[t0, t1]``
     (defaults to the full run).  Later events overwrite earlier ones in a
@@ -94,13 +96,14 @@ def render_gantt(
         # failing, so diagnostics of degenerate runs still print
         lines = [
             f"virtual time {t0:.3g} .. {t1:.3g} s   "
-            "(# compute, > send, . wait, : recv, | barrier)"
+            "(# compute, > send, . wait, : recv, | barrier, ! retry)"
         ]
         for r in ranks:
             lines.append(f"rank {r:4d} |{' ' * width}|")
         return "\n".join(lines)
     span = t1 - t0
-    glyph = {COMPUTE: "#", SEND: ">", RECV_WAIT: ".", RECV: ":", BARRIER: "|"}
+    glyph = {COMPUTE: "#", SEND: ">", RECV_WAIT: ".", RECV: ":", BARRIER: "|",
+             RETRY: "!"}
     rows = {r: [" "] * width for r in ranks}
     rank_set = set(ranks)
     for ev in trace.events:
@@ -114,7 +117,7 @@ def render_gantt(
             row[cell] = ch
     lines = [
         f"virtual time {t0:.3g} .. {t1:.3g} s   "
-        "(# compute, > send, . wait, : recv, | barrier)"
+        "(# compute, > send, . wait, : recv, | barrier, ! retry)"
     ]
     for r in ranks:
         lines.append(f"rank {r:4d} |{''.join(rows[r])}|")

@@ -28,6 +28,14 @@ class RankAccounting:
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    # Fault-injection accounting (zero on a perfect machine).  Each failed
+    # delivery attempt counts once as dropped and once as retransmitted;
+    # the conservation identity is sent + retransmitted == received +
+    # dropped (see repro.verify.invariants.check_bytes_conservation).
+    messages_dropped: int = 0
+    bytes_dropped: int = 0
+    messages_retransmitted: int = 0
+    bytes_retransmitted: int = 0
 
     @property
     def comm_time(self) -> float:
@@ -78,6 +86,15 @@ class Trace:
                 f"rank {rank}: region mismatch, opened {open_name!r} closed {name!r}"
             )
         self.phase_elapsed[name][rank] += clock - start
+
+    def add_phase_time(self, name: str, rank: int, seconds: float) -> None:
+        """Credit ``seconds`` to phase ``name`` outside any open region.
+
+        Used by the scheduler for machine-side activity that no rank
+        program wraps in a region — e.g. the ``"retry"`` phase of
+        fault-injected retransmissions.
+        """
+        self.phase_elapsed[name][rank] += seconds
 
     # -- aggregate views ----------------------------------------------------
     def phase_max(self, name: str) -> float:

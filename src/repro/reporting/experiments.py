@@ -724,6 +724,116 @@ def run_pointwise(
 # registry
 # ----------------------------------------------------------------------
 
+def run_faults(
+    nsteps: int = 8, dims: Tuple[int, int] = (2, 2)
+) -> ExperimentResult:
+    """Fault-tolerance overhead: checkpoint interval x failure x mitigation.
+
+    Two tables from the resilience subsystem (``repro.faults``): the
+    cost of running the AGCM through seeded message drops and a rank
+    failure at different checkpoint intervals (overhead vs the
+    fault-free baseline; interval 0 = no checkpoints, so a failure
+    restarts cold from step 0), and the straggler table — a 2x
+    slowdown on one rank with the static balancer vs measured-time
+    scheme-3 rebalancing.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import FaultPlan, LinkFault, RankFailure
+    from repro.faults.checkpoint import run_agcm_with_recovery
+    from repro.faults.mitigation import run_straggler_demo
+
+    machine = T3D
+    cfg = make_config("tiny", physics_every=2)
+    mesh = ProcessorMesh(*dims)
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+    baseline = Simulator(mesh.size, machine).run(
+        agcm_rank_program, cfg, decomp, nsteps
+    )
+    drops = (LinkFault(drop_rate=0.01),)
+    scenarios = [
+        ("fault-free", None),
+        ("1% drops", FaultPlan(seed=96, link_faults=drops)),
+        (
+            "drops + rank failure",
+            FaultPlan(
+                seed=96,
+                link_faults=drops,
+                failures=(RankFailure(rank=1, at=0.6 * baseline.elapsed),),
+            ),
+        ),
+    ]
+    overhead_table = Table(
+        f"Fault-tolerance overhead on {machine.name}, {dims[0]}x{dims[1]} "
+        f"mesh, {nsteps} steps (tiny config)",
+        ["scenario", "ckpt every", "total s", "overhead %", "restarts",
+         "retransmits"],
+    )
+    overhead_rows = []
+    for name, plan in scenarios:
+        for every in (0, 2, 4):
+            with tempfile.TemporaryDirectory() as td:
+                out = run_agcm_with_recovery(
+                    cfg, decomp, nsteps, machine,
+                    faults=plan,
+                    checkpoint_every=every,
+                    checkpoint_path=(
+                        Path(td) / "checkpoint.npz" if every else None
+                    ),
+                    return_fields=False,
+                )
+            retrans = sum(
+                r.messages_retransmitted for r in out.result.trace.ranks
+            )
+            overhead = (
+                100.0 * (out.total_elapsed - baseline.elapsed)
+                / baseline.elapsed
+            )
+            overhead_table.add_row(
+                name, every if every else "off", out.total_elapsed,
+                f"{overhead:.1f}", out.restarts, retrans,
+            )
+            overhead_rows.append({
+                "scenario": name,
+                "checkpoint_every": every,
+                "total_elapsed": out.total_elapsed,
+                "overhead_pct": overhead,
+                "restarts": out.restarts,
+                "retransmits": retrans,
+            })
+    straggler_table = Table(
+        "Straggler mitigation: one rank 2x slower, physics balanced by "
+        "measured virtual times (scheme 3)",
+        ["balancer", "physics imbalance %", "columns moved", "total s"],
+    )
+    straggler_rows = []
+    for mitigate in (False, True):
+        demo = run_straggler_demo(mitigate=mitigate, machine=machine)
+        straggler_table.add_row(
+            "measured-time scheme 3" if mitigate else "static (off)",
+            f"{100.0 * demo['imbalance']:.1f}",
+            demo["columns_moved"],
+            demo["elapsed"],
+        )
+        straggler_rows.append({
+            "mitigate": mitigate,
+            "imbalance": demo["imbalance"],
+            "columns_moved": demo["columns_moved"],
+            "elapsed": demo["elapsed"],
+        })
+    return ExperimentResult(
+        ident="faults",
+        title="Fault injection: checkpoint overhead and straggler mitigation",
+        tables=[overhead_table, straggler_table],
+        data={
+            "baseline_elapsed": baseline.elapsed,
+            "overhead": overhead_rows,
+            "straggler": straggler_rows,
+        },
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig1": run_fig1,
     "fig2_3": run_fig2_3,
@@ -741,6 +851,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "sp2": run_sp2_supplementary,
     "advection_opt": run_advection_opt,
     "pointwise": run_pointwise,
+    "faults": run_faults,
 }
 
 

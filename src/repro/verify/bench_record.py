@@ -39,6 +39,7 @@ TRACKED_RATIOS: Tuple[str, ...] = (
     "speedup_agcm_dynamics_new_vs_old",
     "speedup_agcm_filtering_new_vs_old",
     "speedup_agcm_total_new_vs_old",
+    "straggler_imbalance_reduction",
 )
 
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
@@ -51,6 +52,7 @@ def collect_metrics() -> Dict[str, float]:
     Imports the experiment runners lazily so that loading this module
     (e.g. for schema validation in tests) stays cheap.
     """
+    from repro.faults.mitigation import straggler_imbalance_metrics
     from repro.parallel import PARAGON
     from repro.reporting.experiments import (
         run_agcm_timing_table,
@@ -88,6 +90,14 @@ def collect_metrics() -> Dict[str, float]:
             old["filtering"] / new["filtering"],
         "speedup_agcm_total_new_vs_old": old["total"] / new["total"],
     }
+    straggler = straggler_imbalance_metrics()
+    metrics.update(straggler)
+    # Tracked as a ratio >1 like the speedups: how much physics imbalance
+    # the measured-time balancer removes when one rank runs 2x slow.
+    metrics["straggler_imbalance_reduction"] = (
+        straggler["agcm_straggler_imbalance_static"]
+        / straggler["agcm_straggler_imbalance_mitigated"]
+    )
     return {k: float(v) for k, v in metrics.items()}
 
 

@@ -4,7 +4,9 @@ The scheduler prices every op deterministically, so a handful of exact
 identities hold for *any* rank program on *any* machine model:
 
 * **byte/message conservation** — everything sent was received (the
-  scheduler only completes matched send/recv pairs);
+  scheduler only completes matched send/recv pairs); under fault
+  injection the identity generalises to ``sent + retransmitted ==
+  received + dropped`` with drops balancing retransmissions exactly;
 * **per-rank clock identity** — a rank's final virtual clock equals the
   sum of its accounted components (compute + send busy + recv busy +
   recv wait + barrier wait); the addends are re-summed in a different
@@ -43,19 +45,46 @@ def _close(a: float, b: float) -> bool:
 
 
 def check_bytes_conservation(trace: Trace) -> List[str]:
-    """Globally, bytes (and messages) sent must equal bytes received."""
+    """Globally, every byte (and message) put on the wire is accounted.
+
+    On a perfect machine this is ``sent == received``.  Under fault
+    injection each failed delivery attempt counts once as *dropped* and
+    its retransmission once as *retransmitted* (the original send is
+    still counted exactly once in ``sent``), so the identity becomes::
+
+        sent + retransmitted == received + dropped
+
+    and drops must balance retransmissions exactly — the retry path
+    guarantees final delivery, so nothing is silently lost.
+    """
     violations = []
     sent = sum(r.bytes_sent for r in trace.ranks)
     received = sum(r.bytes_received for r in trace.ranks)
-    if sent != received:
+    dropped = sum(r.bytes_dropped for r in trace.ranks)
+    retrans = sum(r.bytes_retransmitted for r in trace.ranks)
+    if sent + retrans != received + dropped:
         violations.append(
-            f"byte conservation: {sent} bytes sent != {received} received"
+            f"byte conservation: {sent} sent + {retrans} retransmitted != "
+            f"{received} received + {dropped} dropped"
+        )
+    if dropped != retrans:
+        violations.append(
+            f"retry completeness: {dropped} bytes dropped but {retrans} "
+            "retransmitted (every drop must be retried exactly once)"
         )
     msent = sum(r.messages_sent for r in trace.ranks)
     mreceived = sum(r.messages_received for r in trace.ranks)
-    if msent != mreceived:
+    mdropped = sum(r.messages_dropped for r in trace.ranks)
+    mretrans = sum(r.messages_retransmitted for r in trace.ranks)
+    if msent + mretrans != mreceived + mdropped:
         violations.append(
-            f"message conservation: {msent} sent != {mreceived} received"
+            f"message conservation: {msent} sent + {mretrans} retransmitted "
+            f"!= {mreceived} received + {mdropped} dropped"
+        )
+    if mdropped != mretrans:
+        violations.append(
+            f"retry completeness: {mdropped} messages dropped but "
+            f"{mretrans} retransmitted"
         )
     return violations
 
@@ -88,9 +117,10 @@ def check_clock_identity(result: SimResult) -> List[str]:
 def check_events(result: SimResult) -> List[str]:
     """Timeline events (when recorded) are well-formed and consistent.
 
-    Every event fits in ``[0, elapsed]`` with ``start <= end``, and the
+    Every event fits in ``[0, elapsed]`` with ``start <= end``, the
     send events reproduce each rank's ``bytes_sent``/``messages_sent``
-    counters exactly.
+    counters exactly, and (under fault injection) the retry events
+    reproduce the retransmission counters.
     """
     trace = result.trace
     if trace.events is None:
@@ -98,6 +128,8 @@ def check_events(result: SimResult) -> List[str]:
     violations = []
     sent_bytes = np.zeros(trace.nranks, dtype=np.int64)
     sent_msgs = np.zeros(trace.nranks, dtype=np.int64)
+    retry_bytes = np.zeros(trace.nranks, dtype=np.int64)
+    retry_msgs = np.zeros(trace.nranks, dtype=np.int64)
     slack = tolerances.CLOCK_RTOL * max(1.0, result.elapsed)
     for ev in trace.events:
         if ev.start > ev.end:
@@ -109,6 +141,9 @@ def check_events(result: SimResult) -> List[str]:
         if ev.kind == "send":
             sent_bytes[ev.rank] += ev.nbytes
             sent_msgs[ev.rank] += 1
+        elif ev.kind == "retry":
+            retry_bytes[ev.rank] += ev.nbytes
+            retry_msgs[ev.rank] += 1
     for rank, acct in enumerate(trace.ranks):
         if sent_bytes[rank] != acct.bytes_sent:
             violations.append(
@@ -120,6 +155,18 @@ def check_events(result: SimResult) -> List[str]:
             violations.append(
                 f"events vs accounting: rank {rank} has {int(sent_msgs[rank])} "
                 f"send events but messages_sent is {acct.messages_sent}"
+            )
+        if retry_bytes[rank] != acct.bytes_retransmitted:
+            violations.append(
+                f"events vs accounting: rank {rank} retry events total "
+                f"{int(retry_bytes[rank])} bytes but bytes_retransmitted is "
+                f"{acct.bytes_retransmitted}"
+            )
+        if retry_msgs[rank] != acct.messages_retransmitted:
+            violations.append(
+                f"events vs accounting: rank {rank} has "
+                f"{int(retry_msgs[rank])} retry events but "
+                f"messages_retransmitted is {acct.messages_retransmitted}"
             )
     return violations
 

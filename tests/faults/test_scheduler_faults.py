@@ -1,0 +1,143 @@
+"""Scheduler integration: fault plans drive the discrete-event machine."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, LinkFault, RankFailure, SlowdownWindow
+from repro.parallel import (
+    Compute,
+    DeadlockError,
+    GENERIC,
+    RankFailedError,
+    Recv,
+    Send,
+    Simulator,
+)
+from repro.verify.invariants import assert_sim_invariants
+
+
+def _pingpong(ctx):
+    """Rank 0 <-> rank 1 message exchange, other ranks idle."""
+    data = np.arange(64, dtype=np.float64) + ctx.rank
+    if ctx.rank == 0:
+        yield Send(dest=1, payload=data, tag=1)
+        got = yield Recv(source=1, tag=2)
+    elif ctx.rank == 1:
+        got = yield Recv(source=0, tag=1)
+        yield Send(dest=0, payload=data, tag=2)
+    else:
+        got = None
+    return None if got is None else float(got.sum())
+
+
+class TestSlowdowns:
+    def test_compute_stretches_only_in_window(self):
+        def program(ctx):
+            yield Compute(seconds=1.0)
+            yield Compute(seconds=1.0)
+
+        plan = FaultPlan(
+            seed=0, slowdowns=(SlowdownWindow(rank=1, t0=0.0, t1=3.0, factor=3.0),)
+        )
+        res = Simulator(2, GENERIC, faults=plan).run(program)
+        assert res.clocks[0] == pytest.approx(2.0)
+        # first compute fills the window exactly (3x slow), the second
+        # starts at t=3 — outside the half-open window — at full speed
+        assert res.clocks[1] == pytest.approx(4.0)
+
+    def test_clock_identity_still_holds(self):
+        def program(ctx):
+            yield Compute(seconds=0.5)
+
+        plan = FaultPlan(
+            seed=0, slowdowns=(SlowdownWindow(0, 0.0, 10.0, 2.0),)
+        )
+        res = Simulator(3, GENERIC, faults=plan, record_events=True).run(program)
+        assert_sim_invariants(res)
+
+
+class TestDropsAndRetries:
+    def test_retry_accounting_and_conservation(self):
+        plan = FaultPlan(seed=2, link_faults=(LinkFault(drop_rate=0.5),))
+        found = False
+        for seed in range(2, 12):
+            plan = FaultPlan(
+                seed=seed, link_faults=(LinkFault(drop_rate=0.5),)
+            )
+            res = Simulator(2, GENERIC, faults=plan, record_events=True).run(
+                _pingpong
+            )
+            assert_sim_invariants(res)
+            tr = res.trace
+            drops = sum(r.messages_dropped for r in tr.ranks)
+            retrans = sum(r.messages_retransmitted for r in tr.ranks)
+            assert drops == retrans
+            if drops:
+                found = True
+                assert "retry" in tr.phase_elapsed
+                break
+        assert found, "no drop in 10 seeds at 50% drop rate"
+
+    def test_payload_survives_drops(self):
+        plan = FaultPlan(seed=3, link_faults=(LinkFault(drop_rate=0.9),))
+        res = Simulator(2, GENERIC, faults=plan).run(_pingpong)
+        clean = Simulator(2, GENERIC).run(_pingpong)
+        assert res.returns[0] == clean.returns[0]
+        assert res.returns[1] == clean.returns[1]
+
+    def test_drops_delay_but_preserve_determinism(self):
+        plan = FaultPlan(seed=4, link_faults=(LinkFault(drop_rate=0.7),))
+        a = Simulator(2, GENERIC, faults=plan, record_events=True).run(_pingpong)
+        b = Simulator(2, GENERIC, faults=plan, record_events=True).run(_pingpong)
+        assert a.clocks == b.clocks
+        assert a.trace.events == b.trace.events
+        clean = Simulator(2, GENERIC).run(_pingpong)
+        assert a.elapsed >= clean.elapsed
+
+    def test_undroppable_messages_exempt(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, payload=1.0, tag=0, droppable=False)
+            else:
+                yield Recv(source=0, tag=0)
+
+        plan = FaultPlan(seed=0, link_faults=(LinkFault(drop_rate=0.999),))
+        res = Simulator(2, GENERIC, faults=plan).run(program)
+        assert sum(r.messages_dropped for r in res.trace.ranks) == 0
+
+
+class TestFailures:
+    def test_stop_mode_raises_at_boundary(self):
+        def program(ctx):
+            for _ in range(10):
+                yield Compute(seconds=0.1)
+
+        plan = FaultPlan(seed=0, failures=(RankFailure(rank=1, at=0.35),))
+        with pytest.raises(RankFailedError) as exc:
+            Simulator(3, GENERIC, faults=plan).run(program)
+        assert exc.value.rank == 1
+        # detected at the first op boundary at or after t=0.35
+        assert exc.value.at == pytest.approx(0.4)
+
+    def test_hang_mode_deadlocks_peers(self):
+        def program(ctx):
+            yield Compute(seconds=0.5)
+            if ctx.rank == 0:
+                yield Recv(source=1, tag=7)
+            else:
+                yield Send(dest=0, payload=1, tag=7)
+
+        plan = FaultPlan(
+            seed=0, failures=(RankFailure(rank=1, at=0.1, mode="hang"),)
+        )
+        with pytest.raises(DeadlockError, match="failed \\(hang\\)"):
+            Simulator(2, GENERIC, faults=plan).run(program)
+
+    def test_without_failure_lets_run_complete(self):
+        def program(ctx):
+            yield Compute(seconds=1.0)
+            return ctx.rank
+
+        plan = FaultPlan(seed=0, failures=(RankFailure(rank=0, at=0.5),))
+        res = Simulator(2, GENERIC, faults=plan.without_failure(0)).run(program)
+        assert res.returns == [0, 1]

@@ -70,7 +70,44 @@ class TestCli:
     def test_unknown(self, capsys):
         assert cli.main(["table99"]) == 2
 
+    def test_unknown_suggests_close_match(self, capsys):
+        assert cli.main(["tables13"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'tables1_3'" in err
+        assert "try 'list'" in err
+
+    def test_typo_late_in_list_runs_nothing(self, capsys):
+        # validation is up-front: the valid experiment must not run
+        assert cli.main(["fig4_6", "fautls"]) == 2
+        captured = capsys.readouterr()
+        assert "did you mean 'faults'" in captured.err
+        assert "regenerated" not in captured.out
+
     def test_run_one(self, capsys):
         assert cli.main(["fig4_6"]) == 0
         out = capsys.readouterr().out
         assert "pairwise" in out
+
+
+@pytest.mark.faults
+class TestFaultsExperiment:
+    def test_overhead_matrix_and_straggler_table(self):
+        from repro.reporting.experiments import run_faults
+
+        result = run_faults(nsteps=6)
+        assert len(result.data["overhead"]) == 9  # 3 scenarios x 3 intervals
+        by_key = {
+            (r["scenario"], r["checkpoint_every"]): r
+            for r in result.data["overhead"]
+        }
+        assert by_key[("fault-free", 0)]["overhead_pct"] == pytest.approx(0.0)
+        fail_cold = by_key[("drops + rank failure", 0)]
+        fail_ckpt = by_key[("drops + rank failure", 2)]
+        assert fail_cold["restarts"] == 1 and fail_ckpt["restarts"] == 1
+        # checkpointing must beat re-running from step 0 after a failure
+        assert fail_ckpt["total_elapsed"] < fail_cold["total_elapsed"]
+        static, mitigated = result.data["straggler"]
+        assert mitigated["imbalance"] < static["imbalance"]
+        rendered = result.render()
+        assert "Fault-tolerance overhead" in rendered
+        assert "scheme 3" in rendered

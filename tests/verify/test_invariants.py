@@ -116,3 +116,35 @@ def test_assert_lists_every_violation(agcm_result):
     text = str(err.value)
     assert text.startswith("[tampered]")
     assert "byte conservation" in text and "clock identity" in text
+
+
+def test_faulty_run_satisfies_generalised_conservation():
+    """Drops + retransmissions still balance exactly (sent + retrans ==
+    received + dropped), and retry events match the counters."""
+    from repro.faults import FaultPlan, LinkFault
+
+    plan = FaultPlan(seed=9, link_faults=(LinkFault(drop_rate=0.4),))
+    sim = Simulator(4, GENERIC, record_events=True, faults=plan)
+
+    res = sim.run(_pairwise_exchange, 512)
+    assert check_sim_result(res) == []
+    tr = res.trace
+    dropped = sum(r.messages_dropped for r in tr.ranks)
+    assert dropped > 0, "40% drop rate produced no drops"
+    assert dropped == sum(r.messages_retransmitted for r in tr.ranks)
+
+
+def test_planted_unbalanced_drop_is_detected(agcm_result):
+    agcm_result.trace.ranks[0].bytes_dropped += 128
+    agcm_result.trace.ranks[0].messages_dropped += 1
+    violations = check_bytes_conservation(agcm_result.trace)
+    assert any("retry completeness" in v for v in violations)
+    assert any("byte conservation" in v for v in violations)
+
+
+def test_planted_retry_event_mismatch_is_detected(agcm_result):
+    agcm_result.trace.events.append(
+        Event(rank=0, kind="retry", start=0.0, end=0.0, peer=1, nbytes=64)
+    )
+    violations = check_events(agcm_result)
+    assert any("retry events" in v for v in violations)
