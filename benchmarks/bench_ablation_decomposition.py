@@ -11,7 +11,7 @@ compares the three at 64 nodes on the production grid.
 from conftest import run_once
 
 from repro.grid import Decomposition2D
-from repro.model import ComponentBreakdown, make_config
+from repro.model import AGCMConfig, ComponentBreakdown
 from repro.model.parallel_agcm import agcm_rank_program
 from repro.parallel import PARAGON, ProcessorMesh, Simulator
 from repro.util.tables import Table
@@ -21,7 +21,7 @@ SHAPES = ((64, 1), (8, 8), (2, 32), (1, 64))
 
 
 def sweep():
-    cfg = make_config("2x2.5x9")
+    cfg = AGCMConfig.paper_2x2_5()
     table = Table(
         "Ablation — decomposition shape at 64 nodes (Paragon, s/day)",
         ["mesh", "dynamics", "filtering", "halo", "total", "halo kB/step"],

@@ -11,13 +11,13 @@ the analytic cost model and checks which conclusions are robust:
 
 from conftest import run_once
 
-from repro.model import make_config
+from repro.model import AGCMConfig
 from repro.model.analytic import estimate_costs
 from repro.parallel import PARAGON, ProcessorMesh
 from repro.util.tables import Table
 
 MESH = ProcessorMesh(8, 8)
-CFG = make_config("2x2.5x9")
+CFG = AGCMConfig.paper_2x2_5()
 
 
 def sweep():

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.grid import Decomposition2D
-from repro.model import make_config
+from repro.model import AGCMConfig
 from repro.model.parallel_agcm import agcm_rank_program
 from repro.parallel import GENERIC, PARAGON, ProcessorMesh, Simulator
 
@@ -56,7 +56,7 @@ def test_bench_allreduce(benchmark):
 
 @pytest.fixture(scope="module")
 def production_setup():
-    cfg = make_config("2x2.5x9")
+    cfg = AGCMConfig.paper_2x2_5()
     mesh = ProcessorMesh(8, 30)
     decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
     return cfg, mesh, decomp

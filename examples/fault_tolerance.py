@@ -30,7 +30,7 @@ from repro.faults import (
 )
 from repro.faults.checkpoint import run_agcm_with_recovery
 from repro.grid import Decomposition2D
-from repro.model import make_config
+from repro.model import AGCMConfig
 from repro.model.agcm import AGCM
 from repro.model.parallel_agcm import agcm_rank_program
 from repro.parallel import ProcessorMesh, Simulator, T3D
@@ -63,7 +63,7 @@ def part2_checkpoint_recovery() -> None:
     print("=" * 72)
     print("Part 2: rank failure mid-run -> restart from checkpoint")
     print("=" * 72)
-    cfg = make_config("tiny", physics_every=2)
+    cfg = AGCMConfig.tiny(physics_every=2)
     nsteps = 8
     mesh = ProcessorMesh(2, 2)
     decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)

@@ -14,7 +14,7 @@ Run:  python examples/machine_sensitivity.py
 
 from __future__ import annotations
 
-from repro import make_config
+from repro import AGCMConfig
 from repro.model.analytic import estimate_costs
 from repro.parallel import PARAGON, T3D, ProcessorMesh
 from repro.util.tables import Table
@@ -23,7 +23,7 @@ MESH = ProcessorMesh(8, 8)
 
 
 def latency_sweep() -> None:
-    cfg = make_config("2x2.5x9")
+    cfg = AGCMConfig.paper_2x2_5()
     table = Table(
         f"Filtering s/day vs network latency ({MESH.describe()} mesh, "
         "Paragon base)",
@@ -55,7 +55,7 @@ def latency_sweep() -> None:
 
 
 def flop_rate_sweep() -> None:
-    cfg = make_config("2x2.5x9")
+    cfg = AGCMConfig.paper_2x2_5()
     table = Table(
         "Total s/day vs node speed (8 x 8 mesh, Paragon network)",
         ["flop rate [Mflop/s]", "dynamics", "physics", "total",
@@ -80,7 +80,7 @@ def flop_rate_sweep() -> None:
 
 
 def machine_ratio() -> None:
-    cfg = make_config("2x2.5x9")
+    cfg = AGCMConfig.paper_2x2_5()
     table = Table(
         "Paragon vs T3D decomposition (8 x 8 mesh, s/day)",
         ["component", "paragon", "t3d", "ratio"],

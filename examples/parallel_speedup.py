@@ -12,7 +12,7 @@ Run:  python examples/parallel_speedup.py
 
 from __future__ import annotations
 
-from repro import Decomposition2D, ProcessorMesh, Simulator, make_config, make_machine
+from repro import AGCMConfig, Decomposition2D, ProcessorMesh, Simulator, make_machine
 from repro.model import ComponentBreakdown, agcm_rank_program
 from repro.util.tables import Table
 
@@ -21,7 +21,7 @@ NSTEPS = 8
 
 
 def run_curve(machine_name: str, backend: str) -> Table:
-    cfg = make_config("tiny", filter_backend=backend)
+    cfg = AGCMConfig.tiny(filter_backend=backend)
     machine = make_machine(machine_name)
     table = Table(
         f"AGCM s/simulated-day — {backend} filtering on {machine_name} "

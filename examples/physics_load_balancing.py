@@ -27,7 +27,7 @@ from repro import (
     Simulator,
     SortedGreedyBalancer,
     imbalance,
-    make_config,
+    AGCMConfig,
 )
 from repro.model import agcm_rank_program
 from repro.parallel import T3D
@@ -60,7 +60,7 @@ def part1_schemes() -> None:
 
 
 def part2_measured_loads() -> None:
-    cfg = make_config("tiny")
+    cfg = AGCMConfig.tiny()
     model = AGCM(cfg)
     model.initialize()
     model.run(16)  # spin up clouds and convection
@@ -91,7 +91,7 @@ def part2_measured_loads() -> None:
 
 
 def part3_end_to_end() -> None:
-    cfg = make_config("tiny", physics_every=2)
+    cfg = AGCMConfig.tiny(physics_every=2)
     mesh = ProcessorMesh(3, 4)
     decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
     nsteps = 13

@@ -13,13 +13,13 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import AGCM, make_config
+from repro import AGCM, AGCMConfig
 from repro.dynamics.cfl import CflReport, filter_speedup_factor
 from repro.io import HistoryMetadata, HistoryReader, HistoryWriter
 
 
 def main() -> None:
-    cfg = make_config("tiny")
+    cfg = AGCMConfig.tiny()
     print(f"Configuration: {cfg.describe()}")
 
     # --- why the polar filter exists -----------------------------------

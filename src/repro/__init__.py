@@ -75,7 +75,7 @@ from repro.parallel import (
     Simulator,
     make_machine,
 )
-from repro.reporting import EXPERIMENTS, run_experiment
+from repro.reporting import EXPERIMENTS, ExperimentSpec, run_experiment
 from repro.solvers import (
     HelmholtzOperator,
     cg_parallel,
@@ -83,6 +83,11 @@ from repro.solvers import (
     solve_cyclic_tridiagonal,
     solve_tridiagonal,
 )
+
+# The facade imports from repro.reporting, so it must come after the
+# subpackage imports above to keep the import graph acyclic.
+from repro import api
+from repro.api import RunResult
 
 __version__ = "1.0.0"
 
@@ -125,9 +130,12 @@ __all__ = [
     "T3D",
     "SP2",
     "GENERIC",
-    # experiments
+    # experiments + facade
     "EXPERIMENTS",
+    "ExperimentSpec",
     "run_experiment",
+    "api",
+    "RunResult",
     # solvers
     "solve_tridiagonal",
     "solve_cyclic_tridiagonal",

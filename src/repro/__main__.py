@@ -2,12 +2,16 @@
 
 Usage::
 
-    python -m repro list                 # available experiments
+    python -m repro list                 # available experiments + cost
     python -m repro table8               # regenerate one artefact
     python -m repro fig4_6 tables1_3     # several at once
     python -m repro all                  # everything (minutes)
     python -m repro report [PATH]        # full markdown report (minutes)
     python -m repro report --quick       # fast subset, printed to stdout
+    python -m repro profile EXPERIMENT [--trace-out [PATH]]
+                                         [--metrics-out [PATH]]
+                                         # run observed; export Perfetto
+                                         # trace and/or metrics summary
 """
 
 from __future__ import annotations
@@ -19,6 +23,114 @@ import time
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
 
 
+def _unknown_experiment(idents: list[str]) -> int:
+    for ident in idents:
+        close = difflib.get_close_matches(ident, EXPERIMENTS, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        print(f"unknown experiment {ident!r}{hint} (try 'list')",
+              file=sys.stderr)
+    return 2
+
+
+def _cmd_list() -> int:
+    for ident, spec in sorted(EXPERIMENTS.items()):
+        print(f"{ident:15s} [{spec.cost:6s}] {spec.doc}")
+    return 0
+
+
+def _cmd_report(rest: list[str]) -> int:
+    from repro.reporting.report import generate_report, write_report
+
+    quick = False
+    paths: list[str] = []
+    for arg in rest:
+        if arg == "--quick":
+            quick = True
+        elif arg.startswith("-"):
+            # Unknown flags used to be silently treated as "not a path"
+            # and dropped, so e.g. a misspelled --qiuck ran the full
+            # minutes-long report.  Fail fast instead.
+            print(f"report: unknown option {arg!r} (only --quick is "
+                  f"accepted)", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) > 1:
+        print(f"report: at most one output path, got {paths!r}",
+              file=sys.stderr)
+        return 2
+    if paths:
+        out = write_report(paths[0], quick=quick)
+        print(f"report written to {out}")
+    else:
+        print(generate_report(quick=quick))
+    return 0
+
+
+def _optional_value(rest: list[str], i: int) -> tuple[str | None, int]:
+    """Value of a flag whose argument is optional: consume ``rest[i+1]``
+    only if present and not itself a flag."""
+    if i + 1 < len(rest) and not rest[i + 1].startswith("-"):
+        return rest[i + 1], i + 2
+    return None, i + 1
+
+
+def _cmd_profile(rest: list[str]) -> int:
+    from repro import api
+
+    ident: str | None = None
+    trace_out: str | None = None
+    metrics_out: str | None = None
+    want_trace = want_metrics = False
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--trace-out":
+            want_trace = True
+            trace_out, i = _optional_value(rest, i)
+        elif arg == "--metrics-out":
+            want_metrics = True
+            metrics_out, i = _optional_value(rest, i)
+        elif arg.startswith("-"):
+            print(f"profile: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        elif ident is None:
+            ident = arg
+            i += 1
+        else:
+            print(f"profile: expected one experiment, got {ident!r} and "
+                  f"{arg!r}", file=sys.stderr)
+            return 2
+    if ident is None:
+        print("profile: an experiment identifier is required (try 'list')",
+              file=sys.stderr)
+        return 2
+    if ident not in EXPERIMENTS:
+        return _unknown_experiment([ident])
+    if want_trace and trace_out is None:
+        trace_out = f"trace-{ident}.json"
+    if want_metrics and metrics_out is None:
+        metrics_out = f"metrics-{ident}.json"
+    if not want_trace and not want_metrics:
+        # Still observe — print the metrics summary so a bare
+        # `profile fig1` is useful on its own.
+        from repro.obs import render_metrics_markdown
+
+        result = api.profile(ident)
+        print(result.render())
+        print(render_metrics_markdown(result.metrics()))
+        return 0
+    start = time.time()
+    result = api.profile(ident, trace_out=trace_out, metrics_out=metrics_out)
+    print(result.render())
+    if trace_out:
+        print(f"trace written to {trace_out}")
+    if metrics_out:
+        print(f"metrics written to {metrics_out}")
+    print(f"[{ident} profiled in {time.time() - start:.1f}s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help"):
@@ -26,33 +138,17 @@ def main(argv: list[str] | None = None) -> int:
         print("Experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
     if args[0] == "list":
-        for ident, fn in sorted(EXPERIMENTS.items()):
-            doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"{ident:15s} {doc}")
-        return 0
+        return _cmd_list()
     if args[0] == "report":
-        from repro.reporting.report import generate_report, write_report
-
-        rest = args[1:]
-        quick = "--quick" in rest
-        paths = [a for a in rest if not a.startswith("-")]
-        if paths:
-            out = write_report(paths[0], quick=quick)
-            print(f"report written to {out}")
-        else:
-            print(generate_report(quick=quick))
-        return 0
+        return _cmd_report(args[1:])
+    if args[0] == "profile":
+        return _cmd_profile(args[1:])
     idents = sorted(EXPERIMENTS) if args == ["all"] else args
     # Validate everything up front so a typo late in the list cannot
     # waste the minutes the earlier experiments take.
     unknown = [ident for ident in idents if ident not in EXPERIMENTS]
     if unknown:
-        for ident in unknown:
-            close = difflib.get_close_matches(ident, EXPERIMENTS, n=1)
-            hint = f"; did you mean {close[0]!r}?" if close else ""
-            print(f"unknown experiment {ident!r}{hint} (try 'list')",
-                  file=sys.stderr)
-        return 2
+        return _unknown_experiment(unknown)
     for ident in idents:
         start = time.time()
         result = run_experiment(ident)

@@ -1,0 +1,182 @@
+"""Unified run API: one facade over experiments, observability and export.
+
+The repo grew three overlapping entry points — ``run_experiment`` for
+registry experiments, ``Simulator.run`` for ad-hoc rank programs, and
+``python -m repro`` for the CLI — each returning a different result type
+and none of them aware of observability.  This module is the single
+front door::
+
+    import repro.api as api
+
+    res = api.run("fig1")                      # plain run
+    res = api.run("fig1", obs=True)            # + spans and metrics
+    print(res.render())
+    res.observer.spans                         # the recorded spans
+
+    api.profile("table8", trace_out="t.json")  # run + Perfetto export
+
+``run`` is keyword-only beyond the experiment identifier, mirroring
+:func:`repro.reporting.run_experiment`; all runner options pass through
+(``nsteps=``, ``meshes=``, ``machine=``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.obs import (
+    Observer,
+    activate,
+    chrome_trace,
+    figure1_fractions,
+    folded_stacks,
+    metrics_summary,
+    write_chrome_trace,
+    write_metrics_summary,
+)
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+
+
+@dataclass
+class RunResult:
+    """Uniform wrapper around whatever a run produced.
+
+    ``value`` is the underlying result object — an
+    :class:`repro.reporting.ExperimentResult` for registry experiments,
+    a ``SimResult`` for raw simulator runs wrapped via
+    :func:`wrap_sim_result` — and ``observer`` is the live
+    :class:`repro.obs.Observer` if the run was observed (None
+    otherwise).
+    """
+
+    experiment: str
+    value: Any
+    observer: Optional[Observer] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def observed(self) -> bool:
+        return self.observer is not None
+
+    def render(self) -> str:
+        """The underlying result's text rendering (tables for
+        experiments, a one-line summary otherwise)."""
+        render = getattr(self.value, "render", None)
+        if render is not None:
+            return render()
+        elapsed = getattr(self.value, "elapsed", None)
+        if elapsed is not None:
+            return f"{self.experiment}: elapsed {elapsed:.6g} virtual s"
+        return f"{self.experiment}: {self.value!r}"
+
+    # -- observability accessors (raise rather than return garbage when
+    # -- the run was not observed) ---------------------------------------
+    def _require_observer(self) -> Observer:
+        if self.observer is None:
+            raise ValueError(
+                f"run {self.experiment!r} was not observed; "
+                f"pass obs=True (or an Observer) to repro.api.run"
+            )
+        return self.observer
+
+    def trace(self) -> Dict[str, Any]:
+        """Chrome-trace/Perfetto document built from the recorded spans."""
+        return chrome_trace(self._require_observer())
+
+    def metrics(self) -> Dict[str, Any]:
+        """Structured metrics summary (per-run phases, figure-1
+        fractions, counters/gauges)."""
+        return metrics_summary(self._require_observer())
+
+    def flamegraph(self) -> str:
+        """Folded-stack dump suitable for flamegraph.pl / speedscope."""
+        return folded_stacks(self._require_observer())
+
+    def figure1(self, run: int = 0) -> Optional[Dict[str, float]]:
+        """Span-derived Figure-1 fractions for one simulator run."""
+        return figure1_fractions(self._require_observer(), run=run)
+
+
+def _resolve_observer(obs: Union[None, bool, Observer]) -> Optional[Observer]:
+    if obs is None or obs is False:
+        return None
+    if obs is True:
+        return Observer()
+    if isinstance(obs, Observer):
+        return obs
+    raise TypeError(
+        f"obs must be None, a bool or an Observer, not {type(obs).__name__}"
+    )
+
+
+def run(experiment: str, *, obs: Union[None, bool, Observer] = None,
+        **options) -> RunResult:
+    """Run a registered experiment and return a :class:`RunResult`.
+
+    ``experiment`` is a registry identifier (see
+    :data:`repro.reporting.EXPERIMENTS` or ``python -m repro list``).
+    ``obs`` selects observability: ``None``/``False`` for a plain run
+    (zero instrumentation cost), ``True`` to record into a fresh
+    :class:`repro.obs.Observer`, or an existing ``Observer`` to
+    aggregate several runs into one trace.  Remaining keyword options go
+    to the experiment runner verbatim.
+    """
+    observer = _resolve_observer(obs)
+    value = run_experiment(experiment, obs=observer, **options)
+    return RunResult(experiment=experiment, value=value, observer=observer,
+                     options=dict(options))
+
+
+def wrap_sim_result(experiment: str, value: Any,
+                    observer: Optional[Observer] = None) -> RunResult:
+    """Wrap an ad-hoc ``Simulator.run`` result in the uniform type.
+
+    For code that drives the simulator directly rather than through the
+    registry::
+
+        obs = Observer()
+        with repro.obs.activate(obs):
+            sim_result = Simulator(n, machine).run(program, ...)
+        res = api.wrap_sim_result("my-run", sim_result, obs)
+    """
+    return RunResult(experiment=experiment, value=value, observer=observer)
+
+
+def profile(experiment: str, *, trace_out: Optional[str] = None,
+            metrics_out: Optional[str] = None,
+            obs: Union[None, bool, Observer] = None,
+            **options) -> RunResult:
+    """Run an experiment under observation and export the artefacts.
+
+    Always observes (``obs=None`` means a fresh observer here, unlike
+    :func:`run`).  Writes a Perfetto-loadable Chrome trace to
+    ``trace_out`` and a JSON metrics summary to ``metrics_out`` when
+    given; either may be omitted.
+    """
+    observer = _resolve_observer(obs) or Observer()
+    result = run(experiment, obs=observer, **options)
+    if trace_out:
+        write_chrome_trace(observer, trace_out)
+    if metrics_out:
+        write_metrics_summary(observer, metrics_out)
+    return result
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Observer",
+    "RunResult",
+    "activate",
+    "profile",
+    "run",
+    "run_experiment",
+    "wrap_sim_result",
+]

@@ -281,7 +281,8 @@ def filter_convolution_ring(
     row_group = ctx.group(mesh.row_ranks(i_row))
 
     packed = _pack_units(local_fields, plan, my_units, sub.lat0, sub.nlon)
-    gathered = yield from row_group.allgather(packed)
+    with ctx.span("filter.gather", units=len(my_units)):
+        gathered = yield from row_group.allgather(packed)
     lines = np.concatenate(gathered, axis=0)  # (nlon, sum K)
 
     nlon = decomp.nlon
@@ -293,11 +294,12 @@ def filter_convolution_ring(
     # each output line, so its inner loops suffer the vector-startup
     # penalty on small blocks — one of the reasons the original filter
     # scales poorly.
-    yield from ctx.compute(
-        flops=_convolution_segment_flops(plan, my_units, layers, sub.nlon),
-        mem_bytes=2.0 * lines.nbytes,
-        inner_length=sub.nlon,
-    )
+    with ctx.span("filter.convolve", units=len(my_units)):
+        yield from ctx.compute(
+            flops=_convolution_segment_flops(plan, my_units, layers, sub.nlon),
+            mem_bytes=2.0 * lines.nbytes,
+            inner_length=sub.nlon,
+        )
     lon_sel = np.arange(sub.lon0, sub.lon1)
     per_unit = _split_units(lines, plan, my_units, layers)
     for u, line in zip(my_units, per_unit):
@@ -330,16 +332,18 @@ def filter_convolution_tree(
     row_group = ctx.group(mesh.row_ranks(i_row))
 
     packed = _pack_units(local_fields, plan, my_units, sub.lat0, sub.nlon)
-    gathered = yield from coll.gather_binomial(row_group, packed, root=0)
+    with ctx.span("filter.gather", units=len(my_units)):
+        gathered = yield from coll.gather_binomial(row_group, packed, root=0)
 
     if row_group.rank == 0:
         lines = np.concatenate(gathered, axis=0)  # (nlon, sum K)
         nlon = decomp.nlon
-        yield from ctx.compute(
-            flops=_convolution_segment_flops(plan, my_units, layers, nlon),
-            mem_bytes=2.0 * lines.nbytes,
-            inner_length=nlon,
-        )
+        with ctx.span("filter.convolve", units=len(my_units)):
+            yield from ctx.compute(
+                flops=_convolution_segment_flops(plan, my_units, layers, nlon),
+                mem_bytes=2.0 * lines.nbytes,
+                inner_length=nlon,
+            )
         filtered = np.empty_like(lines)
         per_unit_in = _split_units(lines, plan, my_units, layers)
         per_unit_out = _split_units(filtered, plan, my_units, layers)
@@ -350,9 +354,11 @@ def filter_convolution_tree(
         for col in range(mesh.nlon_procs):
             lo, hi = decomp.lon_bounds_of_proc_col(col)
             pieces.append(np.ascontiguousarray(filtered[lo:hi]))
-        mine = yield from row_group.scatter(pieces, root=0)
+        with ctx.span("filter.scatter"):
+            mine = yield from row_group.scatter(pieces, root=0)
     else:
-        mine = yield from row_group.scatter(None, root=0)
+        with ctx.span("filter.scatter"):
+            mine = yield from row_group.scatter(None, root=0)
 
     for u, seg in zip(my_units, _split_units(mine, plan, my_units, layers)):
         _store_segment(local_fields, plan, u, sub.lat0, seg)
@@ -389,19 +395,22 @@ def filter_fft_transpose(
             seg_store[u] = _segment(local_fields, plan, u, sub.lat0)
 
     moves = assignment.stage_a_moves()
-    for src, dst, units in moves:
-        if src == i_row:
-            payload = _pack_units(local_fields, plan, units, sub.lat0, sub.nlon)
-            yield from ctx.send(
-                mesh.rank_of(dst, j_col), payload, tag=_TAG_STAGE_A
-            )
-    for src, dst, units in moves:
-        if dst == i_row:
-            payload = yield from ctx.recv(
-                mesh.rank_of(src, j_col), tag=_TAG_STAGE_A
-            )
-            for u, seg in zip(units, _split_units(payload, plan, units, layers)):
-                seg_store[u] = seg
+    with ctx.span("filter.redistribute"):
+        for src, dst, units in moves:
+            if src == i_row:
+                payload = _pack_units(local_fields, plan, units, sub.lat0,
+                                      sub.nlon)
+                yield from ctx.send(
+                    mesh.rank_of(dst, j_col), payload, tag=_TAG_STAGE_A
+                )
+        for src, dst, units in moves:
+            if dst == i_row:
+                payload = yield from ctx.recv(
+                    mesh.rank_of(src, j_col), tag=_TAG_STAGE_A
+                )
+                for u, seg in zip(units,
+                                  _split_units(payload, plan, units, layers)):
+                    seg_store[u] = seg
 
     # ---------- stage B: transpose within the processor row ------------
     assigned = assignment.units_assigned_to_row(i_row)
@@ -422,18 +431,22 @@ def filter_fft_transpose(
                 )
             else:
                 chunks.append(np.empty((sub.nlon, 0)))
-        received = yield from row_group.alltoall(chunks)
+        with ctx.span("filter.transpose"):
+            received = yield from row_group.alltoall(chunks)
         my_units = by_col[j_col]
         # Assemble complete lines: concatenate column segments along lon.
         lines = np.concatenate([received[c] for c in range(n_cols)], axis=0)
         if my_units:
             # Whole-line FFTs: full vector length — the reason the paper
             # chose the transpose over a distributed 1-D FFT.
-            yield from ctx.compute(
-                flops=fft_filter_flop_count(decomp.nlon, 1, lines.shape[1]),
-                mem_bytes=2.0 * lines.nbytes,
-                inner_length=decomp.nlon,
-            )
+            with ctx.span("filter.fft", lines=len(my_units)):
+                yield from ctx.compute(
+                    flops=fft_filter_flop_count(
+                        decomp.nlon, 1, lines.shape[1]
+                    ),
+                    mem_bytes=2.0 * lines.nbytes,
+                    inner_length=decomp.nlon,
+                )
             filtered = np.empty_like(lines)
             per_in = _split_units(lines, plan, my_units, layers)
             per_out = _split_units(filtered, plan, my_units, layers)
@@ -447,28 +460,31 @@ def filter_fft_transpose(
         for col in range(n_cols):
             lo, hi = decomp.lon_bounds_of_proc_col(col)
             back_chunks.append(np.ascontiguousarray(filtered[lo:hi]))
-        back = yield from row_group.alltoall(back_chunks)
+        with ctx.span("filter.transpose"):
+            back = yield from row_group.alltoall(back_chunks)
         for c in range(n_cols):
             segs = _split_units(back[c], plan, by_col[c], layers)
             for u, seg in zip(by_col[c], segs):
                 seg_store[u] = seg
 
     # ---------- inverse stage A -----------------------------------------
-    for src, dst, units in moves:
-        if dst == i_row:
-            payload = np.ascontiguousarray(
-                np.concatenate([seg_store[u] for u in units], axis=1)
-            )
-            yield from ctx.send(
-                mesh.rank_of(src, j_col), payload, tag=_TAG_STAGE_A_BACK
-            )
-    for src, dst, units in moves:
-        if src == i_row:
-            payload = yield from ctx.recv(
-                mesh.rank_of(dst, j_col), tag=_TAG_STAGE_A_BACK
-            )
-            for u, seg in zip(units, _split_units(payload, plan, units, layers)):
-                _store_segment(local_fields, plan, u, sub.lat0, seg)
+    with ctx.span("filter.redistribute"):
+        for src, dst, units in moves:
+            if dst == i_row:
+                payload = np.ascontiguousarray(
+                    np.concatenate([seg_store[u] for u in units], axis=1)
+                )
+                yield from ctx.send(
+                    mesh.rank_of(src, j_col), payload, tag=_TAG_STAGE_A_BACK
+                )
+        for src, dst, units in moves:
+            if src == i_row:
+                payload = yield from ctx.recv(
+                    mesh.rank_of(dst, j_col), tag=_TAG_STAGE_A_BACK
+                )
+                for u, seg in zip(units,
+                                  _split_units(payload, plan, units, layers)):
+                    _store_segment(local_fields, plan, u, sub.lat0, seg)
 
     # Write back the segments this rank both owns and was assigned.
     for u in assignment.units_assigned_to_row(i_row):
@@ -525,6 +541,7 @@ def filter_fft_distributed(
         )
         t[:, offs[i] : offs[i + 1]] = full[lo:hi, None]
 
-    filtered = yield from distributed_fft_filter_line(row_group, packed, t)
+    with ctx.span("filter.fft", lines=len(my_units)):
+        filtered = yield from distributed_fft_filter_line(row_group, packed, t)
     for u, seg in zip(my_units, _split_units(filtered, plan, my_units, layers)):
         _store_segment(local_fields, plan, u, sub.lat0, seg)

@@ -14,6 +14,8 @@ usable globally.
 
 from __future__ import annotations
 
+import functools
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
@@ -100,16 +102,78 @@ class AGCMConfig:
             f"dt={self.timestep():.0f}s, filter={self.filter_backend}"
         )
 
+    # -- named constructors ------------------------------------------------
+    # A call like AGCMConfig(90, 144, 15) forces readers to count fields
+    # to know what it builds; these spell out the intent and are the
+    # supported way to construct configs (positional construction is
+    # deprecated, see below).
+
+    @classmethod
+    def paper_2x2_5(cls, nlayers: int = 9, **overrides) -> "AGCMConfig":
+        """The paper's production 2 deg x 2.5 deg resolution.
+
+        ``nlayers=9`` is the resolution of Tables 4-9, ``nlayers=15``
+        the variant of Tables 10-11; any other field may be overridden
+        by keyword.
+        """
+        return cls(nlat=90, nlon=144, nlayers=nlayers, **overrides)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "AGCMConfig":
+        """A small grid for tests and quick examples.
+
+        The coarse polar rows leave less CFL headroom, hence the
+        tighter dt safety factor.
+        """
+        base = dict(nlat=24, nlon=36, nlayers=4, physics_every=4,
+                    dt_safety=0.3)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def from_preset(cls, name: str, **overrides) -> "AGCMConfig":
+        """Look up a named preset (``"2x2.5x9"``, ``"2x2.5x15"``,
+        ``"tiny"``), optionally overriding fields."""
+        if name not in _PRESETS:
+            raise KeyError(
+                f"unknown preset {name!r}; available: {sorted(_PRESETS)}"
+            )
+        cfg = _PRESETS[name]
+        return cfg.with_(**overrides) if overrides else cfg
+
+
+# Positional construction — AGCMConfig(90, 144, 15) — is deprecated in
+# favour of the named constructors / explicit keywords: the field order
+# carries no meaning and has already changed once.  The shim wraps the
+# dataclass-generated __init__ so keyword construction stays pristine.
+_dataclass_init = AGCMConfig.__init__
+
+
+@functools.wraps(_dataclass_init)
+def _deprecating_init(self, *args, **kwargs):
+    if args:
+        warnings.warn(
+            "positional AGCMConfig construction is deprecated and will be "
+            "removed in the next release; use keyword arguments or a named "
+            "constructor (AGCMConfig.paper_2x2_5(), AGCMConfig.tiny(), "
+            "AGCMConfig.from_preset(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _dataclass_init(self, *args, **kwargs)
+
+
+AGCMConfig.__init__ = _deprecating_init
+
 
 #: The paper's production 9-layer resolution (144 x 90 x 9 grid).
-PAPER_9LAYER = AGCMConfig(nlat=90, nlon=144, nlayers=9)
+PAPER_9LAYER = AGCMConfig.paper_2x2_5()
 
 #: The 15-layer variant of Tables 10-11.
-PAPER_15LAYER = AGCMConfig(nlat=90, nlon=144, nlayers=15)
+PAPER_15LAYER = AGCMConfig.paper_2x2_5(nlayers=15)
 
-#: A small configuration for tests and quick examples.  The coarse polar
-#: rows leave less CFL headroom, hence the tighter dt safety factor.
-TINY = AGCMConfig(nlat=24, nlon=36, nlayers=4, physics_every=4, dt_safety=0.3)
+#: A small configuration for tests and quick examples.
+TINY = AGCMConfig.tiny()
 
 _PRESETS: Dict[str, AGCMConfig] = {
     "2x2.5x9": PAPER_9LAYER,
@@ -119,8 +183,9 @@ _PRESETS: Dict[str, AGCMConfig] = {
 
 
 def make_config(preset: str = "2x2.5x9", **overrides) -> AGCMConfig:
-    """Look up a preset configuration, optionally overriding fields."""
-    if preset not in _PRESETS:
-        raise KeyError(f"unknown preset {preset!r}; available: {sorted(_PRESETS)}")
-    cfg = _PRESETS[preset]
-    return cfg.with_(**overrides) if overrides else cfg
+    """Look up a preset configuration, optionally overriding fields.
+
+    Equivalent to :meth:`AGCMConfig.from_preset`; kept as the
+    long-standing functional spelling.
+    """
+    return AGCMConfig.from_preset(preset, **overrides)

@@ -132,8 +132,11 @@ def agcm_rank_program(
         columns_moved_total = counters["columns_moved"]
         phys_compute_seconds = counters["phys_compute_seconds"]
         phys_compute_steady = counters["phys_compute_steady"]
+        ctx.instant("restart", step=start_step)
 
     for step in range(start_step, nsteps):
+        step_span = ctx.span("step", step=step)
+        step_span.__enter__()
         # ---------------- physics ------------------------------------
         if step % cfg.physics_every == 0:
             with ctx.region("physics"):
@@ -152,9 +155,13 @@ def agcm_rank_program(
                     )
                     columns_moved_total += moved
                 else:
-                    result = run_physics(cols, time_frac, step, cfg.physics)
-                    t_compute0 = ctx.clock
-                    yield from ctx.compute(flops=result.total_flops)
+                    result = run_physics(
+                        cols, time_frac, step, cfg.physics,
+                        metrics=ctx.metrics if ctx.obs.enabled else None,
+                    )
+                    with ctx.span("physics.compute", ncols=cols.ncol):
+                        t_compute0 = ctx.clock
+                        yield from ctx.compute(flops=result.total_flops)
                     # Compute-only measurement: waits excluded, so a
                     # machine-induced slowdown is visible to the balancer
                     # instead of being smeared into everyone's waits.
@@ -227,6 +234,10 @@ def agcm_rank_program(
                         "phys_compute_steady": phys_compute_steady,
                     },
                 )
+                ctx.instant("checkpoint", step=step + 1)
+        # Closed manually (not ``with``) to keep the step body flat; an
+        # exception unwinds through the observer's dangling-span cleanup.
+        step_span.__exit__(None, None, None)
 
     summary = {
         "rank": ctx.rank,
@@ -294,13 +305,14 @@ def _physics_balanced(
     #    rates onto owned columns — rate-based estimation stays stable
     #    under movement and sees machine slowdowns (stragglers), not
     #    just workload imbalance.
-    measured = yield from ctx.allgather(my_measure.as_tuple())
-    loads = estimate_rank_loads(
-        [LoadMeasurement.from_tuple(t) for t in measured]
-    )
-    flow: ColumnFlowPlan = plan_column_flow(
-        [float(x) for x in loads], all_ncols, max_passes=cfg.lb_passes
-    )
+    with ctx.span("physics.lb_plan"):
+        measured = yield from ctx.allgather(my_measure.as_tuple())
+        loads = estimate_rank_loads(
+            [LoadMeasurement.from_tuple(t) for t in measured]
+        )
+        flow: ColumnFlowPlan = plan_column_flow(
+            [float(x) for x in loads], all_ncols, max_passes=cfg.lb_passes
+        )
 
     # 2. Execute the planned column movements, pass by pass.
     #    Working arrays start as our own columns; runs are appended in
@@ -308,34 +320,40 @@ def _physics_balanced(
     work_pt, work_q = cols.pt, cols.q
     work_lat, work_lon = cols.lat_rad, cols.lon_rad
     moved_by_me = 0
-    for pass_moves in flow.passes:
-        for mv in pass_moves:
-            if mv.src == ctx.rank:
-                n = mv.ncols
-                payload = {
-                    "pt": work_pt[-n:].copy(),
-                    "q": work_q[-n:].copy(),
-                    "lat": work_lat[-n:].copy(),
-                    "lon": work_lon[-n:].copy(),
-                }
-                work_pt, work_q = work_pt[:-n], work_q[:-n]
-                work_lat, work_lon = work_lat[:-n], work_lon[:-n]
-                yield from ctx.send(mv.dst, payload, tag=_TAG_LB_DATA)
-                moved_by_me += n
-            elif mv.dst == ctx.rank:
-                payload = yield from ctx.recv(mv.src, tag=_TAG_LB_DATA)
-                work_pt = np.concatenate([work_pt, payload["pt"]])
-                work_q = np.concatenate([work_q, payload["q"]])
-                work_lat = np.concatenate([work_lat, payload["lat"]])
-                work_lon = np.concatenate([work_lon, payload["lon"]])
+    with ctx.span("physics.lb_exchange"):
+        for pass_moves in flow.passes:
+            for mv in pass_moves:
+                if mv.src == ctx.rank:
+                    n = mv.ncols
+                    payload = {
+                        "pt": work_pt[-n:].copy(),
+                        "q": work_q[-n:].copy(),
+                        "lat": work_lat[-n:].copy(),
+                        "lon": work_lon[-n:].copy(),
+                    }
+                    work_pt, work_q = work_pt[:-n], work_q[:-n]
+                    work_lat, work_lon = work_lat[:-n], work_lon[:-n]
+                    yield from ctx.send(mv.dst, payload, tag=_TAG_LB_DATA)
+                    moved_by_me += n
+                elif mv.dst == ctx.rank:
+                    payload = yield from ctx.recv(mv.src, tag=_TAG_LB_DATA)
+                    work_pt = np.concatenate([work_pt, payload["pt"]])
+                    work_q = np.concatenate([work_q, payload["q"]])
+                    work_lat = np.concatenate([work_lat, payload["lat"]])
+                    work_lon = np.concatenate([work_lon, payload["lon"]])
+    ctx.metrics.counter("agcm.columns_moved").inc(moved_by_me)
 
     # 3. Compute physics on everything we now hold, measuring the
     #    compute-only seconds for the next pass's estimator.
     held = ColumnSet(pt=work_pt, q=work_q, lat_rad=work_lat, lon_rad=work_lon)
     if held.ncol:
-        result = run_physics(held, time_frac, step, cfg.physics)
-        t_compute0 = ctx.clock
-        yield from ctx.compute(flops=result.total_flops)
+        result = run_physics(
+            held, time_frac, step, cfg.physics,
+            metrics=ctx.metrics if ctx.obs.enabled else None,
+        )
+        with ctx.span("physics.compute", ncols=held.ncol):
+            t_compute0 = ctx.clock
+            yield from ctx.compute(flops=result.total_flops)
         new_measure = LoadMeasurement(
             ctx.clock - t_compute0, held.ncol, cols.ncol
         )
@@ -350,22 +368,24 @@ def _physics_balanced(
     tend_pt = np.zeros_like(cols.pt)
     tend_q = np.zeros_like(cols.q)
     offset = 0
-    for run in flow.holdings[ctx.rank]:
-        seg_pt = tend_pt_held[offset : offset + run.count]
-        seg_q = tend_q_held[offset : offset + run.count]
-        if run.origin == ctx.rank:
-            tend_pt[run.start : run.start + run.count] = seg_pt
-            tend_q[run.start : run.start + run.count] = seg_q
-        else:
-            yield from ctx.send(
-                run.origin,
-                {"start": run.start, "pt": seg_pt.copy(), "q": seg_q.copy()},
-                tag=_TAG_LB_RESULT,
-            )
-        offset += run.count
-    for holder, run in flow.expected_returns(ctx.rank):
-        payload = yield from ctx.recv(holder, tag=_TAG_LB_RESULT)
-        start, count = payload["start"], payload["pt"].shape[0]
-        tend_pt[start : start + count] = payload["pt"]
-        tend_q[start : start + count] = payload["q"]
+    with ctx.span("physics.lb_return"):
+        for run in flow.holdings[ctx.rank]:
+            seg_pt = tend_pt_held[offset : offset + run.count]
+            seg_q = tend_q_held[offset : offset + run.count]
+            if run.origin == ctx.rank:
+                tend_pt[run.start : run.start + run.count] = seg_pt
+                tend_q[run.start : run.start + run.count] = seg_q
+            else:
+                yield from ctx.send(
+                    run.origin,
+                    {"start": run.start, "pt": seg_pt.copy(),
+                     "q": seg_q.copy()},
+                    tag=_TAG_LB_RESULT,
+                )
+            offset += run.count
+        for holder, run in flow.expected_returns(ctx.rank):
+            payload = yield from ctx.recv(holder, tag=_TAG_LB_RESULT)
+            start, count = payload["start"], payload["pt"].shape[0]
+            tend_pt[start : start + count] = payload["pt"]
+            tend_q[start : start + count] = payload["q"]
     return tend_pt, tend_q, moved_by_me, new_measure

@@ -1,0 +1,348 @@
+"""Exporters: Chrome/Perfetto trace JSON, folded stacks, metrics summary.
+
+Three views of one :class:`~repro.obs.spans.Observer`:
+
+* :func:`chrome_trace` — the Chrome Trace Event JSON object format
+  (``{"traceEvents": [...]}``), loadable by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Each observed
+  simulation run becomes one "process" row, each rank one named thread
+  track; spans are complete (``"X"``) events, instants (retries,
+  checkpoints, rank failures) are instant (``"i"``) events.  Timestamps
+  are virtual microseconds.
+* :func:`folded_stacks` — ``parent;child;leaf  value`` lines of
+  *exclusive* virtual microseconds, the input format of flamegraph
+  tooling.
+* :func:`metrics_summary` / :func:`render_metrics_markdown` — per-run
+  phase totals rebuilt from spans alone, the Figure-1 fraction tree
+  (differentially checked against
+  :class:`repro.model.timing_report.ComponentBreakdown` in the test
+  suite), and the counter/gauge dump.
+
+No dependency outside the standard library; the schema checker
+:func:`validate_chrome_trace` is hand-rolled so the round-trip test
+does not need the ``jsonschema`` package.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import Observer, Span
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "folded_stacks",
+    "metrics_summary",
+    "render_metrics_markdown",
+    "write_metrics_summary",
+    "figure1_fractions",
+]
+
+#: Microseconds per virtual second (trace-event timestamps are in us).
+_US = 1e6
+
+#: ``ph`` values the validator accepts (the subset we emit).
+_VALID_PHASES = {"X", "i", "M"}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace / Perfetto
+# ----------------------------------------------------------------------
+
+def chrome_trace(observer: Observer) -> Dict[str, Any]:
+    """The observer's spans/instants as a Chrome Trace Event JSON object.
+
+    One process (``pid``) per observed run, one thread (``tid``) per
+    rank; metadata events name both so Perfetto renders readable track
+    labels.
+    """
+    events: List[Dict[str, Any]] = []
+    seen_tracks = set()
+
+    def ensure_track(run: int, rank: int) -> None:
+        if (run, "proc") not in seen_tracks:
+            seen_tracks.add((run, "proc"))
+            label = (observer.runs[run].label or "run") if (
+                0 <= run < len(observer.runs)
+            ) else "run"
+            events.append({
+                "ph": "M", "name": "process_name", "pid": run, "tid": 0,
+                "args": {"name": f"run {run}: {label}"},
+            })
+        if (run, rank) not in seen_tracks:
+            seen_tracks.add((run, rank))
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": run, "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            })
+
+    for span in observer.spans:
+        if span.end is None:
+            continue  # never closed (rank died mid-open); nothing to draw
+        ensure_track(span.run, span.rank)
+        ev: Dict[str, Any] = {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "pid": span.run,
+            "tid": span.rank,
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+        }
+        if span.tags:
+            ev["args"] = dict(span.tags)
+        events.append(ev)
+
+    for inst in observer.instants:
+        ensure_track(inst.run, inst.rank)
+        ev = {
+            "ph": "i",
+            "name": inst.name,
+            "cat": inst.name.split(".", 1)[0],
+            "pid": inst.run,
+            "tid": inst.rank,
+            "ts": inst.t * _US,
+            "s": "t",  # thread-scoped marker
+        }
+        if inst.tags:
+            ev["args"] = dict(inst.tags)
+        events.append(ev)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "clock": "virtual seconds (simulated machine time)",
+        },
+    }
+
+
+def write_chrome_trace(observer: Observer, path) -> str:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    doc = chrome_trace(observer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return str(path)
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    Empty list means the document satisfies the Trace Event JSON object
+    format subset we emit: a ``traceEvents`` list whose members carry a
+    valid ``ph``, string ``name``, integer ``pid``/``tid``, and — per
+    phase — non-negative ``ts``/``dur`` (``X``), a scope flag (``i``),
+    or an ``args`` dict (``M``).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected dict"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not a dict")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing/empty name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(f"{where}: {key} must be >= 0")
+        elif ph == "i":
+            v = ev.get("ts")
+            if not isinstance(v, (int, float)) or v < 0:
+                problems.append(f"{where}: ts must be >= 0")
+            if ev.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}: instant scope s must be t/p/g")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata event needs args dict")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# folded stacks (flamegraph input)
+# ----------------------------------------------------------------------
+
+def folded_stacks(observer: Observer) -> str:
+    """Semicolon-folded stacks with *exclusive* virtual microseconds.
+
+    One line per distinct ``run;rank;stack`` path, value summed over all
+    spans sharing it — feed straight into ``flamegraph.pl`` or speedscope.
+    """
+    by_id: Dict[int, Span] = {s.sid: s for s in observer.spans}
+    child_time: Dict[int, float] = defaultdict(float)
+    for span in observer.spans:
+        if span.end is not None and span.parent is not None:
+            child_time[span.parent] += span.duration
+
+    totals: Dict[str, float] = defaultdict(float)
+    for span in observer.spans:
+        if span.end is None:
+            continue
+        names = [span.name]
+        node = span
+        while node.parent is not None:
+            node = by_id[node.parent]
+            names.append(node.name)
+        label = (observer.runs[span.run].label or "run") if (
+            0 <= span.run < len(observer.runs)
+        ) else "run"
+        path = ";".join(
+            [f"run{span.run}:{label}", f"rank {span.rank}"] + names[::-1]
+        )
+        exclusive = span.duration - child_time.get(span.sid, 0.0)
+        totals[path] += max(0.0, exclusive)
+
+    return "\n".join(
+        f"{path} {int(round(seconds * _US))}"
+        for path, seconds in sorted(totals.items())
+    )
+
+
+# ----------------------------------------------------------------------
+# metrics summary (Figure-1 tree from spans alone)
+# ----------------------------------------------------------------------
+
+def _phase_stats(observer: Observer, run: int) -> Dict[str, Dict[str, float]]:
+    """Per-phase {max, mean, sum} over ranks, from span durations."""
+    per_rank: Dict[str, List[float]] = {}
+    names = sorted({s.name for s in observer.spans if s.run == run})
+    for name in names:
+        totals = observer.phase_seconds(name, run)
+        if any(t > 0 for t in totals):
+            per_rank[name] = totals
+    out: Dict[str, Dict[str, float]] = {}
+    for name, totals in per_rank.items():
+        out[name] = {
+            "max": max(totals),
+            "mean": sum(totals) / len(totals),
+            "sum": sum(totals),
+        }
+    return out
+
+
+def figure1_fractions(
+    observer: Observer, run: int = 0
+) -> Optional[Dict[str, float]]:
+    """Figure-1's two fractions rebuilt from spans alone.
+
+    ``dynamics_fraction`` is Dynamics' share of the main body
+    (Dynamics + Physics) and ``filtering_fraction`` is spectral
+    filtering's share of Dynamics — both on the max-over-ranks phase
+    costs, exactly how
+    :class:`~repro.model.timing_report.ComponentBreakdown` defines them.
+    Returns ``None`` when the run has no dynamics spans (not an AGCM
+    run).
+    """
+    if not 0 <= run < len(observer.runs):
+        return None
+    dyn = observer.phase_seconds("dynamics", run)
+    if not any(t > 0 for t in dyn):
+        return None
+    phys = observer.phase_seconds("physics", run)
+    filt = observer.phase_seconds("filtering", run)
+    dyn_max = max(dyn)
+    phys_max = max(phys) if phys else 0.0
+    filt_max = max(filt) if filt else 0.0
+    main_body = dyn_max + phys_max
+    return {
+        "dynamics": dyn_max,
+        "physics": phys_max,
+        "filtering": filt_max,
+        "dynamics_fraction": dyn_max / main_body if main_body else 0.0,
+        "filtering_fraction": filt_max / dyn_max if dyn_max else 0.0,
+    }
+
+
+def metrics_summary(observer: Observer) -> Dict[str, Any]:
+    """JSON-serialisable summary: per-run phases, fractions, metrics."""
+    runs: List[Dict[str, Any]] = []
+    for info in observer.runs:
+        run = info.index
+        entry: Dict[str, Any] = {
+            "run": run,
+            "label": info.label,
+            "nranks": info.nranks,
+            "elapsed": info.elapsed,
+            "spans": sum(1 for s in observer.spans if s.run == run),
+            "instants": sum(1 for i in observer.instants if i.run == run),
+            "phases": _phase_stats(observer, run),
+        }
+        fractions = figure1_fractions(observer, run)
+        if fractions is not None:
+            entry["figure1"] = fractions
+        if info.summary:
+            entry["summary"] = dict(info.summary)
+        runs.append(entry)
+    return {
+        "producer": "repro.obs",
+        "runs": runs,
+        "metrics": observer.metrics.as_dict(),
+    }
+
+
+def render_metrics_markdown(summary: Dict[str, Any]) -> str:
+    """Human-readable markdown rendering of :func:`metrics_summary`."""
+    lines: List[str] = ["# Observability summary", ""]
+    for entry in summary.get("runs", []):
+        lines.append(
+            f"## run {entry['run']}: {entry['label']} "
+            f"({entry['nranks']} ranks)"
+        )
+        if entry.get("elapsed") is not None:
+            lines.append(f"- virtual makespan: {entry['elapsed']:.6g} s")
+        lines.append(
+            f"- {entry['spans']} spans, {entry['instants']} instants"
+        )
+        fr = entry.get("figure1")
+        if fr:
+            lines.append(
+                "- Figure-1 tree (from spans): dynamics "
+                f"{100 * fr['dynamics_fraction']:.0f}% of main body, "
+                "filtering "
+                f"{100 * fr['filtering_fraction']:.0f}% of dynamics"
+            )
+        phases = entry.get("phases", {})
+        if phases:
+            lines.append("")
+            lines.append("| phase | max [s] | mean [s] |")
+            lines.append("|---|---|---|")
+            for name, st in phases.items():
+                lines.append(
+                    f"| {name} | {st['max']:.6g} | {st['mean']:.6g} |"
+                )
+        lines.append("")
+    metrics = summary.get("metrics", {})
+    for bucket in ("counters", "gauges"):
+        values = metrics.get(bucket, {})
+        if values:
+            lines.append(f"## {bucket}")
+            lines.append("")
+            for name, value in values.items():
+                lines.append(f"- `{name}` = {value:g}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_metrics_summary(observer: Observer, path) -> str:
+    """Serialise :func:`metrics_summary` as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(metrics_summary(observer), fh, indent=2)
+    return str(path)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.spans import NULL_OBSERVER, NULL_SPAN, _LiveSpan
 from repro.parallel import collectives as coll
 from repro.parallel.events import Barrier, Compute, Recv, Send
 from repro.parallel.machine import MachineModel
@@ -88,34 +89,40 @@ class GroupComm:
     # -- collectives (algorithms in repro.parallel.collectives) -------------
     def bcast(self, obj: Any, root: int = 0):
         """Binomial-tree broadcast from ``root``; returns the object."""
-        result = yield from coll.bcast_binomial(self, obj, root)
+        with self.ctx.span("coll.bcast"):
+            result = yield from coll.bcast_binomial(self, obj, root)
         return result
 
     def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
                root: int = 0):
         """Binomial-tree reduction to ``root`` (None elsewhere)."""
-        result = yield from coll.reduce_binomial(self, value, op, root)
+        with self.ctx.span("coll.reduce"):
+            result = yield from coll.reduce_binomial(self, value, op, root)
         return result
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None):
         """Reduce-then-broadcast; every member returns the reduced value."""
-        result = yield from coll.reduce_binomial(self, value, op, root=0)
-        result = yield from coll.bcast_binomial(self, result, root=0)
+        with self.ctx.span("coll.allreduce"):
+            result = yield from coll.reduce_binomial(self, value, op, root=0)
+            result = yield from coll.bcast_binomial(self, result, root=0)
         return result
 
     def gather(self, value: Any, root: int = 0):
         """Gather one object per member to ``root`` (list in rank order)."""
-        result = yield from coll.gather_direct(self, value, root)
+        with self.ctx.span("coll.gather"):
+            result = yield from coll.gather_direct(self, value, root)
         return result
 
     def allgather(self, value: Any):
         """Ring allgather; every member returns the full list."""
-        result = yield from coll.allgather_ring(self, value)
+        with self.ctx.span("coll.allgather"):
+            result = yield from coll.allgather_ring(self, value)
         return result
 
     def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
         """Scatter one object per member from ``root``."""
-        result = yield from coll.scatter_direct(self, values, root)
+        with self.ctx.span("coll.scatter"):
+            result = yield from coll.scatter_direct(self, values, root)
         return result
 
     def alltoall(self, chunks: Sequence[Any]):
@@ -123,7 +130,8 @@ class GroupComm:
 
         Returns the list of chunks received, indexed by source local rank.
         """
-        result = yield from coll.alltoall_pairwise(self, chunks)
+        with self.ctx.span("coll.alltoall"):
+            result = yield from coll.alltoall_pairwise(self, chunks)
         return result
 
 
@@ -135,11 +143,14 @@ class VirtualComm(GroupComm):
     """
 
     def __init__(self, rank: int, size: int, machine: MachineModel,
-                 trace: Trace):
+                 trace: Trace, observer=None):
         self._rank = rank
         self._size = size
         self.machine = machine
         self.trace = trace
+        #: The observability sink (see :mod:`repro.obs`); the shared
+        #: NULL_OBSERVER unless the simulator was given a live one.
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._state = None  # set by the scheduler; exposes the virtual clock
         super().__init__(self, tuple(range(size)))
 
@@ -188,13 +199,45 @@ class VirtualComm(GroupComm):
         """Attribute the enclosed virtual time to phase ``name`` in the trace.
 
         Elapsed time includes blocking waits, matching how the paper's
-        per-component timings were measured.
+        per-component timings were measured.  With a live observer
+        attached the region is also recorded as a span, so the coarse
+        phase structure appears in exported traces for free.
         """
+        obs = self.obs
+        sid = obs.begin(self._rank, name, self.clock) if obs.enabled else -1
         self.trace.open_region(self._rank, name, self.clock)
         try:
             yield
         finally:
             self.trace.close_region(self._rank, name, self.clock)
+            if sid >= 0:
+                obs.end(self._rank, sid, self.clock)
+
+    def span(self, name: str, **tags):
+        """A context manager recording one observability span.
+
+        Unlike :meth:`region`, spans do not touch the trace's phase
+        accounting — they exist purely for the observer, and cost a
+        single attribute check when observability is off::
+
+            with ctx.span("filter.fft", lines=n):
+                yield from ctx.compute(flops=...)
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return NULL_SPAN
+        return _LiveSpan(obs, self, self._rank, name, tags or None)
+
+    def instant(self, name: str, **tags) -> None:
+        """Record a zero-duration observability marker at the current clock."""
+        obs = self.obs
+        if obs.enabled:
+            obs.instant(self._rank, name, self.clock, tags or None)
+
+    @property
+    def metrics(self):
+        """The observer's counter/gauge registry (a no-op sink when off)."""
+        return self.obs.metrics
 
     # -- groups ----------------------------------------------------------------
     def group(self, ranks: Sequence[int]) -> GroupComm:

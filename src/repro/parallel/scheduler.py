@@ -34,6 +34,7 @@ import math
 from collections import defaultdict, deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.spans import NULL_OBSERVER, get_active
 from repro.parallel.events import Barrier, Compute, Recv, Send
 from repro.parallel.machine import MachineModel
 from repro.parallel.timeline import Event as _Event
@@ -119,7 +120,7 @@ class Simulator:
     """
 
     def __init__(self, nranks: int, machine: MachineModel,
-                 record_events: bool = False, faults=None):
+                 record_events: bool = False, faults=None, observer=None):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
@@ -130,6 +131,11 @@ class Simulator:
         #: Optional FaultPlan (duck-typed to avoid importing repro.faults
         #: here); None means a perfect machine.
         self.faults = faults
+        #: Optional repro.obs.Observer.  None falls back to the ambient
+        #: observer (repro.obs.activate) and finally to the disabled
+        #: singleton — so experiment code need not thread the observer
+        #: through every call for `python -m repro profile` to see it.
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> SimResult:
@@ -141,10 +147,20 @@ class Simulator:
         """
         from repro.parallel.comm import VirtualComm  # local import: cycle
 
+        obs = self.observer
+        if obs is None:
+            obs = get_active() or NULL_OBSERVER
+        if obs.enabled:
+            obs.start_run(
+                label=getattr(program, "__name__", "program"),
+                nranks=self.nranks,
+            )
+
         trace = Trace(self.nranks, record_events=self.record_events)
         states: List[_RankState] = []
         for rank in range(self.nranks):
-            ctx = VirtualComm(rank, self.nranks, self.machine, trace)
+            ctx = VirtualComm(rank, self.nranks, self.machine, trace,
+                              observer=obs)
             gen = program(ctx, *args, **kwargs)
             state = _RankState(rank, gen)
             ctx._state = state  # back-reference for clock access
@@ -169,6 +185,53 @@ class Simulator:
         ready: List[Tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
 
+        try:
+            self._event_loop(states, mailbox, barrier_waiting, faults,
+                             link_seq, fail_pending, ready, trace, obs)
+        finally:
+            # Observer teardown runs even when the simulation dies
+            # (RankFailedError, DeadlockError): dangling spans are closed
+            # at each rank's final clock so partial traces stay loadable.
+            if obs.enabled:
+                acc = trace.ranks
+                obs.finish_run(
+                    clocks=[s.clock for s in states],
+                    summary={
+                        "messages_sent": sum(a.messages_sent for a in acc),
+                        "bytes_sent": sum(a.bytes_sent for a in acc),
+                        "messages_received": sum(
+                            a.messages_received for a in acc
+                        ),
+                        "messages_dropped": sum(
+                            a.messages_dropped for a in acc
+                        ),
+                        "messages_retransmitted": sum(
+                            a.messages_retransmitted for a in acc
+                        ),
+                    },
+                )
+
+        clocks = [s.clock for s in states]
+        return SimResult(
+            elapsed=max(clocks),
+            clocks=clocks,
+            returns=[s.retval for s in states],
+            trace=trace,
+        )
+
+    def _event_loop(
+        self,
+        states: List[_RankState],
+        mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, Any, int]]],
+        barrier_waiting: Dict[Tuple[Tuple[int, ...], int], List[int]],
+        faults,
+        link_seq: Dict[Tuple[int, int], int],
+        fail_pending: Dict[int, Any],
+        ready: List[Tuple[float, int]],
+        trace: Trace,
+        obs,
+    ) -> None:
+        """Drive every rank to completion (the conservative PDES core)."""
         finished = 0
         while finished < self.nranks:
             if not ready:
@@ -204,6 +267,9 @@ class Simulator:
                     if fault is not None and state.clock >= fault.at:
                         del fail_pending[rank]
                         state.failed = True
+                        if obs.enabled:
+                            obs.instant(rank, "rank_failure", state.clock,
+                                        {"mode": fault.mode})
                         if fault.mode == "hang":
                             state.blocked = True
                             break
@@ -255,7 +321,8 @@ class Simulator:
                         arrival = delivery.arrival
                         if delivery.drop_times:
                             self._account_retries(
-                                trace, rank, op.dest, nbytes, busy, delivery
+                                trace, rank, op.dest, nbytes, busy, delivery,
+                                obs,
                             )
                     mailbox[(op.dest, rank, op.tag)].append(
                         (arrival, op.payload, nbytes)
@@ -313,14 +380,6 @@ class Simulator:
 
                 raise TypeError(f"rank {rank} yielded unknown op {op!r}")
 
-        clocks = [s.clock for s in states]
-        return SimResult(
-            elapsed=max(clocks),
-            clocks=clocks,
-            returns=[s.retval for s in states],
-            trace=trace,
-        )
-
     # ------------------------------------------------------------------
     def _complete_recv(
         self,
@@ -361,6 +420,7 @@ class Simulator:
         nbytes: int,
         busy: float,
         delivery,
+        obs=NULL_OBSERVER,
     ) -> None:
         """Account a faulted message's retransmissions in the trace.
 
@@ -388,6 +448,9 @@ class Simulator:
                     rank, "retry", t_retry, t_retry + busy,
                     peer=dest, nbytes=nbytes,
                 ))
+            if obs.enabled:
+                obs.instant(rank, "retry", t_retry,
+                            {"peer": dest, "nbytes": nbytes})
 
     def _release_barrier(
         self,

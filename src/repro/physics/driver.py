@@ -114,12 +114,18 @@ def run_physics(
     time_frac: float,
     step: int,
     params: PhysicsParams = PhysicsParams(),
+    metrics=None,
 ) -> PhysicsResult:
     """Run the full physics suite on a column set.
 
     Components: solar geometry -> clouds -> longwave -> shortwave ->
     convective adjustment -> large-scale condensation -> PBL fluxes.
     Deterministic given (columns, time_frac, step).
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
+    when given, per-component flop counts are accumulated under
+    ``physics.flops.*`` so profiles can break the physics cost down
+    without the paper's instrumented rebuild.
     """
     mu = solar.cos_zenith(
         cols.lat_rad, cols.lon_rad, time_frac, params.declination
@@ -140,6 +146,17 @@ def run_physics(
     tend_pt = lw_heat + sw_heat + (conv_dpt + cond_dpt) * inv_dt + pbl_dpt
     tend_q = (conv_dq + cond_dq) * inv_dt + pbl_dq
     flops = lw_flops + sw_flops + conv_flops + cond_flops + pbl_flops
+    if metrics is not None:
+        metrics.counter("physics.calls").inc()
+        metrics.counter("physics.columns").inc(cols.ncol)
+        for comp, comp_flops in (
+            ("longwave", lw_flops), ("shortwave", sw_flops),
+            ("convection", conv_flops), ("condensation", cond_flops),
+            ("pbl", pbl_flops),
+        ):
+            metrics.counter(f"physics.flops.{comp}").inc(
+                float(np.asarray(comp_flops).sum())
+            )
     return PhysicsResult(tend_pt=tend_pt, tend_q=tend_q, flops=flops,
                          precip=precip)
 

@@ -8,6 +8,7 @@ from repro.reporting.experiments import (
     FIGURE_LOADS,
     PHYSICS_LB_MESHES,
     ExperimentResult,
+    ExperimentSpec,
     run_experiment,
 )
 
@@ -15,6 +16,7 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "ExperimentResult",
+    "ExperimentSpec",
     "generate_report",
     "write_report",
     "AGCM_MESHES",

@@ -720,10 +720,6 @@ def run_pointwise(
     )
 
 
-# ----------------------------------------------------------------------
-# registry
-# ----------------------------------------------------------------------
-
 def run_faults(
     nsteps: int = 8, dims: Tuple[int, int] = (2, 2)
 ) -> ExperimentResult:
@@ -834,31 +830,93 @@ def run_faults(
     )
 
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig1": run_fig1,
-    "fig2_3": run_fig2_3,
-    "fig4_6": run_fig4_6,
-    "tables1_3": run_tables1_3,
-    "table4": run_table4,
-    "table5": run_table5,
-    "table6": run_table6,
-    "table7": run_table7,
-    "table8": run_table8,
-    "table9": run_table9,
-    "table10": run_table10,
-    "table11": run_table11,
-    "blockarray": run_blockarray,
-    "sp2": run_sp2_supplementary,
-    "advection_opt": run_advection_opt,
-    "pointwise": run_pointwise,
-    "faults": run_faults,
-}
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+#: Cost tiers an :class:`ExperimentSpec` may declare, cheapest first.
+COST_TIERS = ("fast", "medium", "slow")
 
 
-def run_experiment(ident: str, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by identifier."""
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: name, documentation and cost, sans side
+    effects.
+
+    The registry used to map identifiers straight to runner callables,
+    so merely *listing* experiments with their docs meant touching the
+    runners; descriptors carry everything ``list``/``--help`` need
+    (including the cost tier rendered as a hint) without calling
+    anything.  Specs remain callable, delegating to the runner, so
+    ``EXPERIMENTS[ident](**options)`` keeps working.
+    """
+
+    name: str
+    runner: Callable[..., ExperimentResult]
+    #: One of :data:`COST_TIERS` — a wall-clock hint for ``list``:
+    #: "fast" finishes in seconds, "medium" in tens of seconds,
+    #: "slow" takes minutes.
+    cost: str = "medium"
+
+    def __post_init__(self) -> None:
+        if self.cost not in COST_TIERS:
+            raise ValueError(
+                f"experiment {self.name!r}: cost {self.cost!r} not in "
+                f"{COST_TIERS}"
+            )
+
+    @property
+    def doc(self) -> str:
+        """First line of the runner's docstring."""
+        return (self.runner.__doc__ or "").strip().splitlines()[0]
+
+    def __call__(self, **options) -> ExperimentResult:
+        return self.runner(**options)
+
+
+def _specs(*entries: Tuple[str, Callable[..., ExperimentResult], str]):
+    return {name: ExperimentSpec(name, runner, cost)
+            for name, runner, cost in entries}
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = _specs(
+    ("fig1", run_fig1, "medium"),
+    ("fig2_3", run_fig2_3, "fast"),
+    ("fig4_6", run_fig4_6, "fast"),
+    ("tables1_3", run_tables1_3, "slow"),
+    ("table4", run_table4, "slow"),
+    ("table5", run_table5, "slow"),
+    ("table6", run_table6, "slow"),
+    ("table7", run_table7, "slow"),
+    ("table8", run_table8, "medium"),
+    ("table9", run_table9, "medium"),
+    ("table10", run_table10, "slow"),
+    ("table11", run_table11, "slow"),
+    ("blockarray", run_blockarray, "fast"),
+    ("sp2", run_sp2_supplementary, "medium"),
+    ("advection_opt", run_advection_opt, "medium"),
+    ("pointwise", run_pointwise, "medium"),
+    ("faults", run_faults, "medium"),
+)
+
+
+def run_experiment(ident: str, *, obs=None, **options) -> ExperimentResult:
+    """Run a registered experiment by identifier.
+
+    All runner options are keyword-only (``nsteps=``, ``meshes=``,
+    ``machine=``, ... — see the individual runner signatures).  ``obs``
+    optionally attaches a :class:`repro.obs.Observer`: it is made
+    ambient for the duration of the run, so every simulator the runner
+    launches records spans and metrics into it.
+    """
     if ident not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {ident!r}; available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[ident](**kwargs)
+    spec = EXPERIMENTS[ident]
+    if obs is None:
+        return spec(**options)
+    from repro.obs import activate
+
+    with activate(obs):
+        return spec(**options)

@@ -1,0 +1,128 @@
+"""The repro.api facade, Figure-1 parity and the profile/report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import api
+from repro.__main__ import main as cli_main
+from repro.obs import Observer, validate_chrome_trace
+from repro.reporting import EXPERIMENTS, ExperimentSpec
+from repro.verify.tolerances import CLOCK_RTOL
+
+pytestmark = pytest.mark.obs
+
+#: fig1 on its small 16-node mesh only: seconds instead of minutes.
+FIG1_FAST = {"meshes": ((4, 4),), "nsteps": 4}
+
+
+class TestFacade:
+    def test_run_plain_returns_wrapped_experiment(self):
+        res = api.run("fig4_6")
+        assert isinstance(res, api.RunResult)
+        assert res.experiment == "fig4_6"
+        assert not res.observed
+        assert res.value.ident == "fig4_6"
+        assert res.render() == res.value.render()
+
+    def test_unobserved_accessors_raise(self):
+        res = api.run("fig4_6")
+        with pytest.raises(ValueError, match="not observed"):
+            res.trace()
+        with pytest.raises(ValueError, match="not observed"):
+            res.metrics()
+
+    def test_obs_true_records_and_exports(self):
+        res = api.run("fig1", obs=True, **FIG1_FAST)
+        assert res.observed and len(res.observer.spans) > 0
+        assert validate_chrome_trace(res.trace()) == []
+        assert res.flamegraph()
+
+    def test_existing_observer_aggregates_runs(self):
+        obs = Observer()
+        api.run("fig1", obs=obs, **FIG1_FAST)
+        api.run("fig1", obs=obs, **FIG1_FAST)
+        assert len(obs.runs) == 2
+        assert {s.run for s in obs.spans} == {0, 1}
+
+    def test_options_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.run("fig1", Observer())  # obs must be by keyword
+        with pytest.raises(TypeError, match="obs must be"):
+            api.run("fig1", obs="yes")
+
+    def test_unknown_experiment_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            api.run("nope")
+
+    def test_profile_writes_both_artefacts(self, tmp_path):
+        t, m = tmp_path / "t.json", tmp_path / "m.json"
+        res = api.profile("fig1", trace_out=str(t), metrics_out=str(m),
+                          **FIG1_FAST)
+        assert res.observed
+        assert validate_chrome_trace(json.loads(t.read_text())) == []
+        summary = json.loads(m.read_text())
+        assert summary["runs"][0]["figure1"]["dynamics_fraction"] > 0
+
+    def test_facade_exported_at_package_root(self):
+        assert repro.api is api
+        assert repro.RunResult is api.RunResult
+
+
+class TestExperimentSpecs:
+    def test_registry_values_are_specs(self):
+        for ident, spec in EXPERIMENTS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.name == ident
+            assert spec.cost in ("fast", "medium", "slow")
+            assert spec.doc  # every runner documents itself
+
+    def test_specs_stay_callable(self):
+        res = EXPERIMENTS["fig4_6"]()
+        assert res.ident == "fig4_6"
+
+    def test_bad_cost_tier_rejected(self):
+        with pytest.raises(ValueError, match="cost"):
+            ExperimentSpec("x", lambda: None, cost="cheap")
+
+
+class TestFigure1Parity:
+    def test_span_fractions_match_component_breakdown(self):
+        res = api.run("fig1", obs=True, **FIG1_FAST)
+        reference = res.value.data[16]
+        spans = res.figure1(run=0)
+        assert spans["dynamics_fraction"] == pytest.approx(
+            reference["dynamics_fraction"], rel=CLOCK_RTOL
+        )
+        assert spans["filtering_fraction"] == pytest.approx(
+            reference["filtering_fraction"], rel=CLOCK_RTOL
+        )
+
+
+class TestCLI:
+    def test_list_renders_cost_hints(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "[medium]" in out and "[fast" in out
+
+    def test_report_rejects_unknown_flag(self, capsys):
+        assert cli_main(["report", "--qiuck"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_profile_writes_files(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["profile", "fig4_6",
+                         "--trace-out", str(tmp_path / "t.json"),
+                         "--metrics-out"]) == 0
+        doc = json.loads((tmp_path / "t.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        # --metrics-out with no value falls back to the default name
+        assert (tmp_path / "metrics-fig4_6.json").exists()
+
+    def test_profile_rejects_unknown_flag_and_experiment(self, capsys):
+        assert cli_main(["profile", "fig4_6", "--bogus"]) == 2
+        assert cli_main(["profile", "nope"]) == 2
+        assert cli_main(["profile"]) == 2

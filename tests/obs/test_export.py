@@ -1,0 +1,120 @@
+"""Exporters: Chrome-trace round-trip, folded stacks, metrics summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observer,
+    chrome_trace,
+    folded_stacks,
+    metrics_summary,
+    render_metrics_markdown,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_summary,
+)
+from repro.parallel import GENERIC, Simulator
+
+pytestmark = pytest.mark.obs
+
+
+def worker(ctx):
+    with ctx.span("outer"):
+        with ctx.span("inner"):
+            yield from ctx.compute(seconds=1.0 + ctx.rank)
+        yield from ctx.compute(seconds=0.5)
+    total = yield from ctx.allreduce(ctx.rank)
+    if ctx.rank == 0:
+        ctx.instant("milestone", total=total)
+    return total
+
+
+@pytest.fixture
+def observed():
+    obs = Observer()
+    Simulator(3, GENERIC, observer=obs).run(worker)
+    return obs
+
+
+class TestChromeTrace:
+    def test_round_trip_through_json_and_schema(self, observed, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(observed, path)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        # identical to the in-memory document
+        assert doc == json.loads(json.dumps(chrome_trace(observed)))
+
+    def test_events_cover_spans_instants_metadata(self, observed):
+        doc = chrome_trace(observed)
+        by_ph = {}
+        for ev in doc["traceEvents"]:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        assert len(by_ph["X"]) == len(observed.spans)
+        assert len(by_ph["i"]) == len(observed.instants) == 1
+        # process metadata for the run + thread metadata per rank
+        names = {(ev["name"], ev["tid"]) for ev in by_ph["M"]
+                 if ev["name"] == "thread_name"}
+        assert len(names) == 3
+
+    def test_one_track_per_rank_microsecond_units(self, observed):
+        doc = chrome_trace(observed)
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert {ev["tid"] for ev in xs} == {0, 1, 2}
+        inner = [ev for ev in xs if ev["name"] == "inner"]
+        by_rank = {ev["tid"]: ev for ev in inner}
+        assert by_rank[0]["dur"] == pytest.approx(1.0e6)
+        assert by_rank[2]["dur"] == pytest.approx(3.0e6)
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_chrome_trace({"no": "events"})
+        assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+        bad_x = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": -1}
+        ]}
+        assert validate_chrome_trace(bad_x)
+
+
+class TestSpanNestingInvariant:
+    def test_children_contained_in_parents(self, observed):
+        by_sid = {s.sid: s for s in observed.spans}
+        for s in observed.spans:
+            if s.parent is None:
+                continue
+            p = by_sid[s.parent]
+            assert p.rank == s.rank and p.run == s.run
+            assert p.start <= s.start <= s.end <= p.end
+
+
+class TestFoldedStacks:
+    def test_paths_and_exclusive_time(self, observed):
+        lines = folded_stacks(observed).splitlines()
+        rows = {}
+        for line in lines:
+            path, val = line.rsplit(" ", 1)
+            rows[path] = int(val)
+        outer_key = "run0:worker;rank 0;outer"
+        inner_key = "run0:worker;rank 0;outer;inner"
+        assert rows[inner_key] == pytest.approx(1.0e6)
+        # outer's exclusive time excludes inner: only the 0.5 s tail
+        assert rows[outer_key] == pytest.approx(0.5e6)
+
+
+class TestMetricsSummary:
+    def test_summary_structure_and_markdown(self, observed, tmp_path):
+        summary = metrics_summary(observed)
+        (run,) = summary["runs"]
+        assert run["label"] == "worker"
+        assert run["nranks"] == 3
+        assert run["spans"] == len(observed.spans)
+        assert summary["metrics"]["counters"]["sim.messages_sent"] > 0
+        md = render_metrics_markdown(summary)
+        assert "worker" in md
+        path = tmp_path / "metrics.json"
+        write_metrics_summary(observed, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(summary)
+        )
