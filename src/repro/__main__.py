@@ -12,6 +12,11 @@ Usage::
                                          [--metrics-out [PATH]]
                                          # run observed; export Perfetto
                                          # trace and/or metrics summary
+    python -m repro guard [--policy NAME] [--buddy-every N]
+                          [--report-out [PATH]]
+                                         # numerical-health supervision
+                                         # demo (overhead + recovery
+                                         # matrix + buddy-vs-disk)
 """
 
 from __future__ import annotations
@@ -131,6 +136,69 @@ def _cmd_profile(rest: list[str]) -> int:
     return 0
 
 
+def _cmd_guard(rest: list[str]) -> int:
+    from repro import api
+    from repro.guard import POLICY_NAMES, GuardConfig
+
+    policy: str | None = None
+    buddy_every: int | None = None
+    report_out: str | None = None
+    want_report = False
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--policy":
+            if i + 1 >= len(rest):
+                print("guard: --policy requires a value "
+                      f"(one of {', '.join(POLICY_NAMES)})", file=sys.stderr)
+                return 2
+            policy, i = rest[i + 1], i + 2
+        elif arg == "--buddy-every":
+            if i + 1 >= len(rest):
+                print("guard: --buddy-every requires an integer",
+                      file=sys.stderr)
+                return 2
+            try:
+                buddy_every = int(rest[i + 1])
+            except ValueError:
+                print(f"guard: --buddy-every expects an integer, got "
+                      f"{rest[i + 1]!r}", file=sys.stderr)
+                return 2
+            i += 2
+        elif arg == "--report-out":
+            want_report = True
+            report_out, i = _optional_value(rest, i)
+        elif arg.startswith("-"):
+            print(f"guard: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            print(f"guard: unexpected argument {arg!r}", file=sys.stderr)
+            return 2
+    overrides = {}
+    if policy is not None:
+        overrides["policy"] = policy
+    if buddy_every is not None:
+        overrides["buddy_every"] = buddy_every
+    try:
+        gcfg = GuardConfig(**overrides)
+    except ValueError as exc:
+        print(f"guard: {exc}", file=sys.stderr)
+        return 2
+    start = time.time()
+    result = api.run("guard", guard=gcfg)
+    text = result.render()
+    print(text)
+    if want_report:
+        report_out = report_out or "guard-report.md"
+        with open(report_out, "w", encoding="utf-8") as fh:
+            fh.write("# Guard supervision report\n\n```\n")
+            fh.write(text)
+            fh.write("\n```\n")
+        print(f"report written to {report_out}")
+    print(f"[guard regenerated in {time.time() - start:.1f}s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help"):
@@ -143,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args[1:])
     if args[0] == "profile":
         return _cmd_profile(args[1:])
+    if args[0] == "guard" and len(args) > 1:
+        # Bare `guard` falls through to the registry experiment below;
+        # with flags it becomes the configured demo + report writer.
+        return _cmd_guard(args[1:])
     idents = sorted(EXPERIMENTS) if args == ["all"] else args
     # Validate everything up front so a typo late in the list cannot
     # waste the minutes the earlier experiments take.

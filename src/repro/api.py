@@ -115,8 +115,30 @@ def _resolve_observer(obs: Union[None, bool, Observer]) -> Optional[Observer]:
     )
 
 
+def _resolve_guard(guard):
+    """Normalise the ``guard=`` argument to a GuardConfig or None.
+
+    Lazy import: :mod:`repro.guard` pulls in the model package, and the
+    facade must stay importable on its own.
+    """
+    if guard is None or guard is False:
+        return None
+    from repro.guard import GuardConfig
+
+    if guard is True:
+        return GuardConfig()
+    if isinstance(guard, str):
+        return GuardConfig(policy=guard)
+    if isinstance(guard, GuardConfig):
+        return guard
+    raise TypeError(
+        f"guard must be None, a bool, a policy name or a GuardConfig, "
+        f"not {type(guard).__name__}"
+    )
+
+
 def run(experiment: str, *, obs: Union[None, bool, Observer] = None,
-        **options) -> RunResult:
+        guard: Any = None, **options) -> RunResult:
     """Run a registered experiment and return a :class:`RunResult`.
 
     ``experiment`` is a registry identifier (see
@@ -124,10 +146,16 @@ def run(experiment: str, *, obs: Union[None, bool, Observer] = None,
     ``obs`` selects observability: ``None``/``False`` for a plain run
     (zero instrumentation cost), ``True`` to record into a fresh
     :class:`repro.obs.Observer`, or an existing ``Observer`` to
-    aggregate several runs into one trace.  Remaining keyword options go
-    to the experiment runner verbatim.
+    aggregate several runs into one trace.  ``guard`` selects numerical
+    health supervision for guard-aware runners: ``True`` for the default
+    :class:`repro.guard.GuardConfig`, a policy name (``"halt"``,
+    ``"rollback_retry"``, ``"rollback_adapt"``) or a full config.
+    Remaining keyword options go to the experiment runner verbatim.
     """
     observer = _resolve_observer(obs)
+    gcfg = _resolve_guard(guard)
+    if gcfg is not None:
+        options = dict(options, guard=gcfg)
     value = run_experiment(experiment, obs=observer, **options)
     return RunResult(experiment=experiment, value=value, observer=observer,
                      options=dict(options))

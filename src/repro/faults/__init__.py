@@ -35,6 +35,7 @@ from repro.faults.plan import (
 )
 
 _CHECKPOINT_SYMBOLS = (
+    "CheckpointCorruptError",
     "CheckpointData",
     "Checkpointer",
     "RecoveryOutcome",

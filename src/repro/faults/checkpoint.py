@@ -20,6 +20,8 @@ a transient fault does not re-fire when virtual clocks reset.
 from __future__ import annotations
 
 import json
+import warnings
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -37,6 +39,37 @@ from repro.parallel.scheduler import RankFailedError, Simulator
 from repro.parallel.trace import SimResult
 
 _TAG_CKPT_BARRIER = 0x00EE0002
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file failed to load or verify.
+
+    Raised by :func:`load_checkpoint` for anything from a truncated
+    archive to a content-checksum mismatch — one clear exception instead
+    of whatever numpy/zipfile error the corruption happened to trigger.
+    Recovery drivers treat it as "no checkpoint" (cold start) rather
+    than dying mid-recovery.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"checkpoint {path} is corrupt: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+def _content_checksum(arrays: Dict[str, np.ndarray]) -> int:
+    """CRC-32 over every array's name, dtype, shape and bytes.
+
+    Deterministic (sorted key order) so save and load agree regardless
+    of dict ordering.
+    """
+    crc = 0
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        header = f"{name}:{a.dtype.str}:{a.shape}".encode()
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(a.tobytes(), crc)
+    return crc
 
 
 @dataclass
@@ -108,13 +141,23 @@ class CheckpointData:
 
 
 def save_checkpoint(path, data: CheckpointData) -> Path:
-    """Write a snapshot to ``path`` as a lossless ``.npz`` archive."""
+    """Write a snapshot to ``path`` as a lossless ``.npz`` archive.
+
+    The metadata records a CRC-32 content checksum over every array so
+    :func:`load_checkpoint` can verify integrity before a restart
+    trusts the state.
+    """
     path = Path(path)
     arrays = {f"now_{n}": data.now[n] for n in PROGNOSTIC_NAMES}
     arrays.update({f"prev_{n}": data.prev[n] for n in PROGNOSTIC_NAMES})
     arrays["forcing_pt"] = data.forcing_pt
     arrays["forcing_q"] = data.forcing_q
-    meta = {"step": data.step, "time": data.time, "counters": data.counters}
+    meta = {
+        "step": data.step,
+        "time": data.time,
+        "counters": data.counters,
+        "checksum": _content_checksum(arrays),
+    }
     arrays["meta"] = np.array(json.dumps(meta))
     with open(path, "wb") as fh:
         np.savez(fh, **arrays)
@@ -122,9 +165,36 @@ def save_checkpoint(path, data: CheckpointData) -> Path:
 
 
 def load_checkpoint(path) -> CheckpointData:
-    """Read a snapshot written by :func:`save_checkpoint`."""
-    with np.load(path, allow_pickle=False) as z:
-        meta = json.loads(str(z["meta"]))
+    """Read and verify a snapshot written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointCorruptError` on a truncated or otherwise
+    unreadable archive, on missing keys, and on a content-checksum
+    mismatch — never an opaque numpy/zipfile error mid-recovery.  A
+    genuinely missing file still raises ``FileNotFoundError`` (that is
+    a different condition: nothing was ever written).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            meta = json.loads(str(z["meta"]))
+            arrays = {
+                key: z[key].copy() for key in z.files if key != "meta"
+            }
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            path, f"unreadable archive ({type(exc).__name__}: {exc})"
+        ) from exc
+    stored = meta.get("checksum")
+    if stored is None:
+        raise CheckpointCorruptError(path, "no content checksum in metadata")
+    actual = _content_checksum(arrays)
+    if actual != stored:
+        raise CheckpointCorruptError(
+            path,
+            f"content checksum mismatch (stored {stored}, computed {actual})",
+        )
+    try:
         counters = []
         for c in meta["counters"]:
             c = dict(c)
@@ -134,12 +204,16 @@ def load_checkpoint(path) -> CheckpointData:
         return CheckpointData(
             step=int(meta["step"]),
             time=float(meta["time"]),
-            now={n: z[f"now_{n}"].copy() for n in PROGNOSTIC_NAMES},
-            prev={n: z[f"prev_{n}"].copy() for n in PROGNOSTIC_NAMES},
-            forcing_pt=z["forcing_pt"].copy(),
-            forcing_q=z["forcing_q"].copy(),
+            now={n: arrays[f"now_{n}"] for n in PROGNOSTIC_NAMES},
+            prev={n: arrays[f"prev_{n}"] for n in PROGNOSTIC_NAMES},
+            forcing_pt=arrays["forcing_pt"],
+            forcing_q=arrays["forcing_q"],
             counters=counters,
         )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorruptError(
+            path, f"malformed contents ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 class Checkpointer:
@@ -255,7 +329,10 @@ def run_agcm_with_recovery(
     Each :class:`~repro.parallel.scheduler.RankFailedError` consumes
     that rank's failure from the plan (drops and slowdowns stay active)
     and restarts from the last checkpoint — or from step 0 if none was
-    written (``checkpoint_every=0`` disables checkpointing entirely).
+    written (``checkpoint_every=0`` disables checkpointing entirely) or
+    the file fails its integrity check (a
+    :class:`CheckpointCorruptError` is downgraded to a warning and a
+    cold start — a broken snapshot must not kill the recovery path).
     ``restart_overhead`` adds a fixed virtual-time penalty per restart
     (job-requeue cost).  Raises after ``max_restarts`` failures.
     """
@@ -286,7 +363,17 @@ def run_agcm_with_recovery(
             total += exc.at + restart_overhead
             if plan is not None:
                 plan = plan.without_failure(exc.rank)
-            resume = ckpt.load() if ckpt is not None else None
+            resume = None
+            if ckpt is not None:
+                try:
+                    resume = ckpt.load()
+                except CheckpointCorruptError as corrupt:
+                    warnings.warn(
+                        f"ignoring corrupt checkpoint during recovery "
+                        f"(cold start instead): {corrupt}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             resumed_steps.append(resume.step if resume is not None else 0)
             continue
         total += res.elapsed

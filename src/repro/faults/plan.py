@@ -30,9 +30,11 @@ import math
 import struct
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.util.validation import require
 
 #: Wildcard endpoint for :class:`LinkFault` — matches every rank.
 ANY = -1
@@ -79,6 +81,8 @@ class SlowdownWindow:
     factor: float
 
     def __post_init__(self):
+        require(self.rank >= 0, f"slowdown rank must be >= 0, got {self.rank}")
+        require(self.t0 >= 0, f"slowdown window must start at t >= 0, got {self.t0}")
         if self.factor < 1.0:
             raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
         if self.t1 <= self.t0:
@@ -101,6 +105,19 @@ class LinkFault:
     extra_delay: float = 0.0
 
     def __post_init__(self):
+        require(
+            self.src >= ANY,
+            f"link-fault src must be a rank >= 0 or ANY (-1), got {self.src}",
+        )
+        require(
+            self.dst >= ANY,
+            f"link-fault dst must be a rank >= 0 or ANY (-1), got {self.dst}",
+        )
+        require(self.t0 >= 0, f"link-fault window must start at t >= 0, got {self.t0}")
+        require(
+            self.t1 > self.t0,
+            f"empty link-fault window [{self.t0}, {self.t1})",
+        )
         if not 0.0 <= self.drop_rate < 1.0:
             raise ValueError(
                 f"drop_rate must be in [0, 1), got {self.drop_rate}"
@@ -131,6 +148,7 @@ class RankFailure:
     mode: str = "stop"
 
     def __post_init__(self):
+        require(self.rank >= 0, f"failure rank must be >= 0, got {self.rank}")
         if self.mode not in ("stop", "hang"):
             raise ValueError(f"failure mode must be 'stop' or 'hang', got {self.mode!r}")
         if self.at < 0:
@@ -194,6 +212,20 @@ class FaultPlan:
         ranks = [f.rank for f in self.failures]
         if len(set(ranks)) != len(ranks):
             raise ValueError(f"at most one failure per rank, got ranks {ranks}")
+        by_rank: Dict[int, List[SlowdownWindow]] = {}
+        for w in self.slowdowns:
+            by_rank.setdefault(w.rank, []).append(w)
+        for rank, wins in by_rank.items():
+            wins.sort(key=lambda w: (w.t0, w.t1))
+            for a, b in zip(wins, wins[1:]):
+                if b.t0 < a.t1:
+                    raise ValueError(
+                        f"overlapping slowdown windows on rank {rank}: "
+                        f"[{a.t0:g}, {a.t1:g}) x{a.factor:g} and "
+                        f"[{b.t0:g}, {b.t1:g}) x{b.factor:g}; merge them "
+                        "into one window (pick the factor you mean) or "
+                        "make them disjoint"
+                    )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -251,10 +283,44 @@ class FaultPlan:
         )
 
     # -- scheduler queries ---------------------------------------------
+    def validate_ranks(self, nranks: int) -> None:
+        """Check every rank the plan names exists on an ``nranks`` mesh.
+
+        Called by :class:`~repro.parallel.scheduler.Simulator` at
+        construction, so a plan built for the wrong mesh fails fast with
+        an actionable message instead of silently never firing (or
+        firing on the wrong link).
+        """
+        hi = nranks - 1
+        for w in self.slowdowns:
+            require(
+                w.rank < nranks,
+                f"slowdown rank {w.rank} out of range for {nranks} ranks "
+                f"(valid: 0..{hi})",
+            )
+        for lf in self.link_faults:
+            require(
+                lf.src < nranks,
+                f"link-fault src {lf.src} out of range for {nranks} ranks "
+                f"(valid: 0..{hi} or ANY)",
+            )
+            require(
+                lf.dst < nranks,
+                f"link-fault dst {lf.dst} out of range for {nranks} ranks "
+                f"(valid: 0..{hi} or ANY)",
+            )
+        for f in self.failures:
+            require(
+                f.rank < nranks,
+                f"failure rank {f.rank} out of range for {nranks} ranks "
+                f"(valid: 0..{hi})",
+            )
+
     def stretch_compute(self, rank: int, start: float, seconds: float) -> float:
         """Elapsed time of a compute op of nominal ``seconds`` starting at
         ``start`` on ``rank``, integrated piecewise across slowdown
-        windows (overlapping windows take the max factor)."""
+        window edges.  (Same-rank windows are validated disjoint at plan
+        construction; the max-factor rule below is defensive only.)"""
         if seconds <= 0.0:
             return seconds
         wins = [w for w in self.slowdowns if w.rank == rank]

@@ -1,0 +1,91 @@
+"""Deterministic guard benchmarks for the regression gate.
+
+Two headline numbers back the ISSUE's acceptance criteria, both in
+virtual seconds and therefore exactly reproducible:
+
+* ``guard_overhead_fraction`` — the fractional cost of running every
+  detector each step (tiny config, 2x2 mesh).  Budget: <= 5% of the
+  unguarded step time, and exactly zero with the guard disabled.
+* ``guard_buddy_ckpt_seconds`` vs ``guard_disk_ckpt_seconds`` — one
+  snapshot interval of diskless buddy replication vs the coordinated
+  disk checkpointer at the paper's 240-node production mesh (8x30,
+  2x2.5x9).  The buddy scheme must be strictly cheaper: it costs two
+  local memcpys plus one neighbour-link message per rank, where the
+  disk path funnels the whole model state through a binomial gather
+  into rank 0's host I/O.
+
+``tools/bench_gate.py`` records both and enforces the constraints via
+:func:`repro.verify.bench_record.check_constraints`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+__all__ = ["guard_bench_metrics"]
+
+#: The production mesh of the paper's Tables 4-7 headline column.
+BUDDY_BENCH_MESH = (8, 30)
+BUDDY_BENCH_NSTEPS = 2
+OVERHEAD_MESH = (2, 2)
+OVERHEAD_NSTEPS = 8
+
+
+def guard_bench_metrics() -> Dict[str, float]:
+    """Collect the guard benchmark metrics (all virtual seconds/ratios)."""
+    from repro.faults.checkpoint import Checkpointer
+    from repro.grid import Decomposition2D
+    from repro.guard.buddy import BuddyCheckpointer
+    from repro.guard.config import GuardConfig
+    from repro.guard.supervisor import run_agcm_guarded
+    from repro.model import make_config
+    from repro.parallel import PARAGON, ProcessorMesh, Simulator
+    from repro.model.parallel_agcm import agcm_rank_program
+
+    # -- detector overhead on the tiny config ---------------------------
+    cfg = make_config("tiny", physics_every=2)
+    mesh = ProcessorMesh(*OVERHEAD_MESH)
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+    base = Simulator(mesh.size, PARAGON).run(
+        agcm_rank_program, cfg, decomp, OVERHEAD_NSTEPS
+    )
+    guarded = run_agcm_guarded(
+        cfg, decomp, OVERHEAD_NSTEPS, PARAGON,
+        guard=GuardConfig(buddy_every=0),
+        return_fields=False,
+    )
+    overhead = (guarded.result.elapsed - base.elapsed) / base.elapsed
+    disabled = run_agcm_guarded(
+        cfg, decomp, OVERHEAD_NSTEPS, PARAGON,
+        guard=GuardConfig(detect=False, buddy_every=0),
+        return_fields=False,
+    )
+    disabled_overhead = (
+        (disabled.result.elapsed - base.elapsed) / base.elapsed
+    )
+
+    # -- buddy vs disk snapshot cost at 240 nodes -----------------------
+    pcfg = make_config("2x2.5x9")
+    pmesh = ProcessorMesh(*BUDDY_BENCH_MESH)
+    pdecomp = Decomposition2D(pcfg.nlat, pcfg.nlon, pmesh)
+    buddy_res = Simulator(pmesh.size, PARAGON).run(
+        agcm_rank_program, pcfg, pdecomp, BUDDY_BENCH_NSTEPS, False,
+        BuddyCheckpointer(1, pmesh),
+    )
+    buddy_s = buddy_res.trace.phase_max("checkpoint")
+    with tempfile.TemporaryDirectory() as td:
+        disk_res = Simulator(pmesh.size, PARAGON).run(
+            agcm_rank_program, pcfg, pdecomp, BUDDY_BENCH_NSTEPS, False,
+            Checkpointer(1, Path(td) / "bench-ck.npz"),
+        )
+    disk_s = disk_res.trace.phase_max("checkpoint")
+
+    return {
+        "guard_overhead_fraction": float(overhead),
+        "guard_disabled_overhead_fraction": float(disabled_overhead),
+        "guard_buddy_ckpt_seconds": float(buddy_s),
+        "guard_disk_ckpt_seconds": float(disk_s),
+        "guard_ckpt_buddy_vs_disk_speedup": float(disk_s / buddy_s),
+    }

@@ -1,0 +1,120 @@
+"""Guard configuration: what to detect, how to replicate, how to heal.
+
+One frozen :class:`GuardConfig` describes a complete supervision setup —
+detector cadences and drift limits, the diskless buddy-checkpoint
+interval, the recovery policy and its adaptation parameters, and any
+deterministic state corruptions to inject (the guard's own fault model,
+complementing :mod:`repro.faults` which injects *machine* faults).
+
+The config is inert data; :class:`repro.guard.detectors.StepGuard` turns
+it into per-rank runtime state and
+:func:`repro.guard.supervisor.run_agcm_guarded` drives the closed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.dynamics.state import PROGNOSTIC_NAMES
+from repro.util.validation import require
+from repro.verify import tolerances
+
+#: Recognised recovery policies (see :mod:`repro.guard.policies`).
+POLICY_NAMES = ("halt", "rollback_retry", "rollback_adapt")
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """Inject a NaN into one prognostic field at ``(step, rank)``.
+
+    Models a soft error (memory bit flip) in rank ``rank``'s block of
+    ``field`` during step ``step``.  The corruption is *transient*: it is
+    consumed when applied, so a rollback-and-retry replays the step
+    clean — which is what makes recovery bit-exact.
+    """
+
+    step: int
+    rank: int
+    field: str = "pt"
+
+    def __post_init__(self) -> None:
+        require(self.step >= 0, f"corruption step must be >= 0, got {self.step}")
+        require(self.rank >= 0, f"corruption rank must be >= 0, got {self.rank}")
+        require(
+            self.field in PROGNOSTIC_NAMES,
+            f"corruption field must be one of {PROGNOSTIC_NAMES}, "
+            f"got {self.field!r}",
+        )
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Everything the run supervisor needs, in one frozen value.
+
+    ``detect=False`` keeps injections active but turns every detector
+    off — the "guard disabled" control case: the corrupted run completes
+    and the supervisor surfaces the non-finite final state as a
+    :class:`~repro.guard.detectors.NumericalHealthError` only at the end,
+    with no recovery possible.
+    """
+
+    #: Recovery policy: ``"halt"``, ``"rollback_retry"`` or
+    #: ``"rollback_adapt"``.
+    policy: str = "rollback_retry"
+    #: Check prognostics for NaN/Inf every this many steps (0 = never).
+    nan_every: int = 1
+    #: Check effective CFL against the filtered caps every this many steps.
+    cfl_every: int = 1
+    #: Check global energy/mass drift every this many steps (0 = never).
+    drift_every: int = 4
+    #: Max relative total-energy change between drift checks.
+    energy_drift_limit: float = tolerances.GUARD_ENERGY_DRIFT
+    #: Max relative mass-integral change between drift checks.
+    mass_drift_limit: float = tolerances.GUARD_MASS_DRIFT
+    #: Replicate state to the buddy rank every this many steps (0 = off).
+    buddy_every: int = 2
+    #: Master switch for the detectors (injections stay active when off).
+    detect: bool = True
+    #: Deterministic soft errors to inject (the guard's test fault model).
+    injections: Tuple[StateCorruption, ...] = ()
+    #: Give up (re-raise) after this many recoveries in one run.
+    max_recoveries: int = 4
+    #: ``rollback_adapt``: number of steps to run with the reduced dt.
+    adapt_steps: int = 2
+    #: ``rollback_adapt``: multiply the time step by this during the
+    #: adapted segment (must shrink dt — that is the stabilising move).
+    adapt_dt_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        require(
+            self.policy in POLICY_NAMES,
+            f"policy must be one of {POLICY_NAMES}, got {self.policy!r}",
+        )
+        for name in ("nan_every", "cfl_every", "drift_every", "buddy_every"):
+            value = getattr(self, name)
+            require(value >= 0, f"{name} must be >= 0, got {value}")
+        require(
+            self.energy_drift_limit > 0,
+            f"energy_drift_limit must be positive, got {self.energy_drift_limit}",
+        )
+        require(
+            self.mass_drift_limit > 0,
+            f"mass_drift_limit must be positive, got {self.mass_drift_limit}",
+        )
+        require(
+            self.max_recoveries >= 0,
+            f"max_recoveries must be >= 0, got {self.max_recoveries}",
+        )
+        require(
+            self.adapt_steps >= 1,
+            f"adapt_steps must be >= 1, got {self.adapt_steps}",
+        )
+        require(
+            0.0 < self.adapt_dt_factor < 1.0,
+            f"adapt_dt_factor must be in (0, 1), got {self.adapt_dt_factor}",
+        )
+
+    def with_(self, **overrides) -> "GuardConfig":
+        """A copy with fields replaced (same idiom as ``AGCMConfig``)."""
+        return replace(self, **overrides)

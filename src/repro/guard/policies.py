@@ -1,0 +1,87 @@
+"""Recovery policies: what the supervisor does when a detector fires.
+
+Three policies, in increasing ambition:
+
+* ``halt`` — re-raise immediately.  The run is dead; a human (or an
+  outer driver) decides.  This is what every alarm did before the guard
+  existed, kept as the conservative default for one-shot experiments.
+* ``rollback_retry`` — restore the last snapshot (buddy, then disk,
+  then cold start) and replay.  Because injected corruptions are
+  transient and the snapshot holds both leapfrog levels, the replay is
+  bit-for-bit the fault-free trajectory.
+* ``rollback_adapt`` — restore, then run ``adapt_steps`` steps with the
+  time step scaled by ``adapt_dt_factor`` (the stabilising move the CFL
+  analysis prescribes — see :mod:`repro.dynamics.cfl`) before restoring
+  the original dt.  For *reproducible* soft errors a plain retry would
+  re-diverge; shrinking dt through the rough patch is the self-healing
+  variant.  The adapted segment changes the trajectory, so this mode
+  trades bit-exactness for liveness.
+
+Every decision the supervisor takes is recorded as a
+:class:`PolicyDecision` on the outcome and mirrored into the metrics
+registry (``guard.decisions.*``) when an observer is live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guard.config import POLICY_NAMES
+
+__all__ = [
+    "POLICY_NAMES",
+    "PolicyDecision",
+    "RecoveryPolicy",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One supervisor decision, recorded for the trace and the tables."""
+
+    at: float          # virtual time of the triggering event
+    step: int          # step the alarm/failure interrupted
+    kind: str          # "halt" | "rollback" | "adapt" | "giveup"
+    cause: str         # "nonfinite" | "cfl" | "drift" | "rank_failure"
+    rank: int          # rank that raised
+    restore_step: int  # step the run resumed from (0 = cold)
+    source: str        # "buddy" | "disk" | "cold"
+    note: str = ""
+
+    def describe(self) -> str:
+        where = (
+            f"restored step {self.restore_step} from {self.source}"
+            if self.kind in ("rollback", "adapt") else self.kind
+        )
+        return (
+            f"t={self.at:.6g}s step {self.step} rank {self.rank} "
+            f"[{self.cause}] -> {self.kind}: {where}"
+            + (f" ({self.note})" if self.note else "")
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """A named (rollback?, adapt?) pair — the whole policy decision."""
+
+    name: str
+    rollback: bool
+    adapt: bool
+
+
+_POLICIES = {
+    "halt": RecoveryPolicy("halt", rollback=False, adapt=False),
+    "rollback_retry": RecoveryPolicy("rollback_retry", rollback=True, adapt=False),
+    "rollback_adapt": RecoveryPolicy("rollback_adapt", rollback=True, adapt=True),
+}
+
+
+def make_policy(name: str) -> RecoveryPolicy:
+    """Resolve a policy by name (the names in :data:`POLICY_NAMES`)."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None

@@ -73,19 +73,27 @@ def agcm_rank_program(
     return_fields: bool = False,
     checkpointer=None,
     resume=None,
+    guard=None,
 ):
     """Generator: run ``nsteps`` AGCM steps on this rank's subdomain.
 
     Returns a summary dict; with ``return_fields=True`` it includes the
     final local prognostic arrays (used by the equivalence tests).
 
-    ``checkpointer`` (a :class:`repro.faults.checkpoint.Checkpointer`)
+    ``checkpointer`` (a :class:`repro.faults.checkpoint.Checkpointer`
+    or :class:`repro.guard.buddy.BuddyCheckpointer` — same interface)
     coordinates periodic whole-state checkpoints; ``resume`` (a
     :class:`repro.faults.checkpoint.CheckpointData`) restarts the
     integration from a saved step instead of initial conditions.  Both
     charge their full gather/scatter + host-I/O cost to the machine.
     The restarted trajectory is bit-identical to an uninterrupted run:
     the checkpoint holds both leapfrog levels and the physics forcing.
+
+    ``guard`` (a :class:`repro.guard.detectors.StepGuard`) runs the
+    numerical-health detectors after each step's dynamics, *before* the
+    state can be checkpointed — a snapshot is therefore always
+    guard-clean.  Disabled (``None`` or ``guard.enabled`` False) it
+    costs exactly nothing: one attribute check here, no virtual ops.
     """
     grid = cfg.make_grid()
     mesh = decomp.mesh
@@ -99,6 +107,12 @@ def agcm_rank_program(
     npts = sub.nlat * sub.nlon
     nlayers = cfg.nlayers
     is_north_edge = sub.lat1 == decomp.nlat
+
+    # One enabled-attribute check (the NULL_OBSERVER pattern): a disabled
+    # guard never constructs state and never yields a virtual op.
+    gstate = None
+    if guard is not None and guard.enabled:
+        gstate = guard.rank_state(ctx, cfg, grid, sub, dt)
 
     now = initial_fields_block(lat_rad_loc, lon_rad_loc, nlayers, seed=cfg.seed)
     prev: Optional[Dict[str, np.ndarray]] = None
@@ -213,6 +227,13 @@ def agcm_rank_program(
                             now[name], dt, cfg.vertical_diffusion, cfg.dz
                         )
         time_now += dt
+
+        # ---------------- numerical-health guard ----------------------
+        # Runs before the checkpoint block so a snapshot can never hold
+        # a state the detectors would have rejected.
+        if gstate is not None:
+            with ctx.region("guard"):
+                yield from gstate.check(ctx, step, now)
 
         # ---------------- coordinated checkpoint ----------------------
         if checkpointer is not None and checkpointer.due(step, nsteps):

@@ -42,6 +42,7 @@ class ComponentBreakdown:
     fd: float
     retry: float = 0.0
     checkpoint: float = 0.0
+    guard: float = 0.0
 
     @property
     def dynamics_fraction(self) -> float:
@@ -74,6 +75,7 @@ class ComponentBreakdown:
             fd=phase("fd"),
             retry=phase("retry"),
             checkpoint=phase("checkpoint"),
+            guard=phase("guard"),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -87,4 +89,5 @@ class ComponentBreakdown:
             "fd": self.fd,
             "retry": self.retry,
             "checkpoint": self.checkpoint,
+            "guard": self.guard,
         }

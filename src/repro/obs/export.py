@@ -330,6 +330,20 @@ def render_metrics_markdown(summary: Dict[str, Any]) -> str:
                 )
         lines.append("")
     metrics = summary.get("metrics", {})
+    guard = {
+        name: value
+        for name, value in metrics.get("counters", {}).items()
+        if name.startswith("guard.")
+    }
+    if guard:
+        # Surface the supervisor's health story before the raw buckets:
+        # checks run, alarms per detector, injections consumed and every
+        # recovery decision/restore source.
+        lines.append("## guard")
+        lines.append("")
+        for name in sorted(guard):
+            lines.append(f"- `{name}` = {guard[name]:g}")
+        lines.append("")
     for bucket in ("counters", "gauges"):
         values = metrics.get(bucket, {})
         if values:

@@ -188,6 +188,15 @@ class VirtualComm(GroupComm):
         yield Compute(flops=flops, mem_bytes=mem_bytes, seconds=seconds,
                       inner_length=inner_length, label=label)
 
+    def memcpy(self, nbytes: float, label: str = "memcpy"):
+        """Charge one local memory copy of ``nbytes`` (read + write).
+
+        Priced purely by the machine's memory bandwidth — the cost basis
+        of diskless in-memory checkpointing (see :mod:`repro.guard`),
+        as opposed to the host-I/O rate of :mod:`repro.model.parallel_io`.
+        """
+        yield Compute(mem_bytes=2.0 * float(nbytes), label=label)
+
     # -- trace regions --------------------------------------------------------
     @property
     def clock(self) -> float:

@@ -42,7 +42,20 @@ from repro.parallel.trace import RankAccounting, SimResult, Trace
 
 
 class DeadlockError(RuntimeError):
-    """Raised when every unfinished rank is blocked on a receive/barrier."""
+    """Raised when every unfinished rank is blocked on a receive/barrier.
+
+    The message contains the full per-rank wait graph — who waits on
+    whom, for what tag, since when — so a hang is diagnosable from the
+    exception alone.  The same information is available structured via
+    ``wait_graph``: ``{rank: {"kind": "recv" | "barrier" | "hang",
+    "on": [ranks waited on], "tag": int | None, "since": float}}``.
+    """
+
+    def __init__(self, message: str, wait_graph: Optional[Dict[int, dict]] = None):
+        super().__init__(message)
+        self.wait_graph: Dict[int, dict] = (
+            wait_graph if wait_graph is not None else {}
+        )
 
 
 class RankFailedError(RuntimeError):
@@ -131,6 +144,12 @@ class Simulator:
         #: Optional FaultPlan (duck-typed to avoid importing repro.faults
         #: here); None means a perfect machine.
         self.faults = faults
+        if faults is not None:
+            # Fail fast on a plan naming ranks this mesh does not have
+            # (duck-typed for the same import-cycle reason as above).
+            validate = getattr(faults, "validate_ranks", None)
+            if validate is not None:
+                validate(nranks)
         #: Optional repro.obs.Observer.  None falls back to the ambient
         #: observer (repro.obs.activate) and finally to the disabled
         #: singleton — so experiment code need not thread the observer
@@ -188,6 +207,18 @@ class Simulator:
         try:
             self._event_loop(states, mailbox, barrier_waiting, faults,
                              link_seq, fail_pending, ready, trace, obs)
+        except BaseException:
+            # One rank's exception abandons every other rank mid-step.
+            # Close their generators now so nested trace regions unwind
+            # LIFO per rank; left to the GC, the suspended contextmanager
+            # generators close in arbitrary order and close_region raises
+            # spurious mismatch errors into stderr.
+            for state in states:
+                try:
+                    state.gen.close()
+                except Exception:
+                    pass
+            raise
         finally:
             # Observer teardown runs even when the simulation dies
             # (RankFailedError, DeadlockError): dangling spans are closed
@@ -235,23 +266,7 @@ class Simulator:
         finished = 0
         while finished < self.nranks:
             if not ready:
-                blocked = [s.rank for s in states if not s.done]
-                details = []
-                for r in blocked:
-                    s = states[r]
-                    if s.failed:
-                        details.append(
-                            f"rank {r} failed (hang) at t={s.clock:.6g} "
-                            "and never recovered"
-                        )
-                    elif s.pending_recv is not None:
-                        src, tag, _ = s.pending_recv
-                        details.append(f"rank {r} waiting recv(src={src}, tag={tag})")
-                    elif s.pending_barrier is not None:
-                        details.append(f"rank {r} waiting barrier{s.pending_barrier}")
-                raise DeadlockError(
-                    "communication deadlock; blocked ranks: " + "; ".join(details)
-                )
+                raise self._deadlock_error(states, barrier_waiting)
 
             _, rank = heapq.heappop(ready)
             state = states[rank]
@@ -381,6 +396,58 @@ class Simulator:
                 raise TypeError(f"rank {rank} yielded unknown op {op!r}")
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _deadlock_error(
+        states: List[_RankState],
+        barrier_waiting: Dict[Tuple[Tuple[int, ...], int], List[int]],
+    ) -> DeadlockError:
+        """Build the per-rank wait graph of a stuck simulation."""
+        wait_graph: Dict[int, dict] = {}
+        details = []
+        for s in states:
+            if s.done:
+                continue
+            r = s.rank
+            if s.failed:
+                wait_graph[r] = {
+                    "kind": "hang", "on": [], "tag": None, "since": s.clock,
+                }
+                details.append(
+                    f"rank {r} failed (hang) at t={s.clock:.6g} s "
+                    "and never recovered"
+                )
+            elif s.pending_recv is not None:
+                src, tag, post = s.pending_recv
+                wait_graph[r] = {
+                    "kind": "recv", "on": [src], "tag": tag, "since": post,
+                }
+                details.append(
+                    f"rank {r} waiting on rank {src} for "
+                    f"recv(tag=0x{tag:08x}) since t={post:.6g} s"
+                )
+            elif s.pending_barrier is not None:
+                group, tag = s.pending_barrier
+                arrived = set(barrier_waiting.get(s.pending_barrier, ()))
+                missing = [m for m in group if m not in arrived]
+                wait_graph[r] = {
+                    "kind": "barrier", "on": missing, "tag": tag,
+                    "since": s.clock, "group": list(group),
+                }
+                details.append(
+                    f"rank {r} waiting on rank(s) {missing} at "
+                    f"barrier(tag=0x{tag:08x}, group={list(group)}) "
+                    f"since t={s.clock:.6g} s"
+                )
+            else:
+                wait_graph[r] = {
+                    "kind": "unknown", "on": [], "tag": None, "since": s.clock,
+                }
+                details.append(f"rank {r} blocked for an unknown reason")
+        return DeadlockError(
+            "communication deadlock; wait graph:\n  " + "\n  ".join(details),
+            wait_graph,
+        )
+
     def _complete_recv(
         self,
         state: _RankState,

@@ -75,6 +75,33 @@ class ProcessorMesh:
         i, j = self.coords_of(rank)
         return None if i == 0 else self.rank_of(i - 1, j)
 
+    def buddy_of(self, rank: int) -> Optional[int]:
+        """The partner holding ``rank``'s diskless checkpoint replica.
+
+        The next rank around a ring: the periodic eastern neighbour when
+        the mesh has longitudinal extent, otherwise the next rank along
+        the latitude column (wrapping).  ``None`` on a 1-rank mesh —
+        there is nobody to replicate to, and :mod:`repro.guard` falls
+        back to the disk checkpoint.  ``buddy_of`` is a bijection, so
+        every rank guards exactly one other rank (its :meth:`ward_of`).
+        """
+        if self.size == 1:
+            return None
+        if self.nlon_procs > 1:
+            return self.east_of(rank)
+        i, j = self.coords_of(rank)
+        return self.rank_of((i + 1) % self.nlat_procs, j)
+
+    def ward_of(self, rank: int) -> Optional[int]:
+        """The rank whose replica ``rank`` holds (inverse of
+        :meth:`buddy_of`), or ``None`` on a 1-rank mesh."""
+        if self.size == 1:
+            return None
+        if self.nlon_procs > 1:
+            return self.west_of(rank)
+        i, j = self.coords_of(rank)
+        return self.rank_of((i - 1) % self.nlat_procs, j)
+
     def describe(self) -> str:
         """Paper-style mesh label, e.g. ``"8 x 30"``."""
         return f"{self.nlat_procs} x {self.nlon_procs}"

@@ -830,6 +830,169 @@ def run_faults(
     )
 
 
+def run_guard(
+    nsteps: int = 8,
+    dims: Tuple[int, int] = (2, 2),
+    guard=None,
+) -> ExperimentResult:
+    """Guard supervision: detector overhead, recovery matrix, buddy cost.
+
+    Three tables from the numerical-health subsystem (``repro.guard``):
+    the per-step cost of the detectors and buddy snapshots relative to an
+    unguarded run (the ISSUE's <=5% budget), a scenario x policy matrix
+    (NaN corruption and a machine rank failure, healed by each recovery
+    policy), and the diskless buddy snapshot vs the disk checkpointer at
+    matched intervals.  ``guard=`` (a :class:`repro.guard.GuardConfig`)
+    overrides the detector cadences used throughout.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import FaultPlan, RankFailure
+    from repro.guard import GuardConfig, StateCorruption, run_agcm_guarded
+
+    machine = T3D
+    cfg = make_config("tiny", physics_every=2)
+    mesh = ProcessorMesh(*dims)
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+    base = guard if guard is not None else GuardConfig()
+    baseline = Simulator(mesh.size, machine).run(
+        agcm_rank_program, cfg, decomp, nsteps
+    )
+
+    # -- overhead: detectors alone, then detectors + buddy snapshots ----
+    overhead_table = Table(
+        f"Guard overhead on {machine.name}, {dims[0]}x{dims[1]} mesh, "
+        f"{nsteps} steps (tiny config)",
+        ["configuration", "total s", "overhead %"],
+    )
+    overhead_rows = []
+    variants = [
+        ("unguarded", None),
+        ("detectors off, buddy off", base.with_(detect=False, buddy_every=0)),
+        ("detectors on, buddy off", base.with_(buddy_every=0)),
+        (
+            f"detectors on, buddy every {max(base.buddy_every, 1)}",
+            base.with_(buddy_every=max(base.buddy_every, 1)),
+        ),
+    ]
+    for label, gcfg in variants:
+        if gcfg is None:
+            elapsed = baseline.elapsed
+        else:
+            out = run_agcm_guarded(
+                cfg, decomp, nsteps, machine, guard=gcfg, return_fields=False
+            )
+            elapsed = out.result.elapsed
+        pct = 100.0 * (elapsed - baseline.elapsed) / baseline.elapsed
+        overhead_table.add_row(label, elapsed, f"{pct:.2f}")
+        overhead_rows.append(
+            {"label": label, "elapsed": elapsed, "overhead_pct": pct}
+        )
+
+    # -- recovery matrix: scenario x policy -----------------------------
+    scenarios = [
+        (
+            "NaN at mid-run",
+            dict(injections=(
+                StateCorruption(step=nsteps // 2, rank=1 % mesh.size),
+            )),
+            None,
+        ),
+        (
+            "rank failure",
+            dict(),
+            FaultPlan(
+                seed=96,
+                failures=(
+                    RankFailure(rank=1 % mesh.size,
+                                at=0.6 * baseline.elapsed),
+                ),
+            ),
+        ),
+    ]
+    matrix_table = Table(
+        "Recovery matrix: scenario x policy (buddy snapshots on)",
+        ["scenario", "policy", "recoveries", "restore", "total s",
+         "lost work %"],
+    )
+    matrix_rows = []
+    for sname, gkw, plan in scenarios:
+        for policy in ("rollback_retry", "rollback_adapt"):
+            gcfg = base.with_(policy=policy, **gkw)
+            with tempfile.TemporaryDirectory() as td:
+                out = run_agcm_guarded(
+                    cfg, decomp, nsteps, machine, guard=gcfg, faults=plan,
+                    checkpoint_every=max(base.buddy_every, 2),
+                    checkpoint_path=Path(td) / "guard-ck.npz",
+                    return_fields=False,
+                )
+            sources = {d.source for d in out.decisions if d.source}
+            lost = (
+                100.0 * (out.total_elapsed - baseline.elapsed)
+                / baseline.elapsed
+            )
+            matrix_table.add_row(
+                sname, policy, out.recoveries,
+                "+".join(sorted(sources)) or "-",
+                out.total_elapsed, f"{lost:.1f}",
+            )
+            matrix_rows.append({
+                "scenario": sname,
+                "policy": policy,
+                "recoveries": out.recoveries,
+                "sources": sorted(sources),
+                "total_elapsed": out.total_elapsed,
+                "lost_pct": lost,
+            })
+
+    # -- buddy snapshot vs disk checkpoint at matched intervals ---------
+    ckpt_table = Table(
+        "Checkpoint cost per interval: diskless buddy vs disk "
+        f"({machine.name}, {nsteps} steps)",
+        ["interval", "buddy ckpt s", "disk ckpt s", "disk/buddy"],
+    )
+    ckpt_rows = []
+    # an interval no snapshot falls due at (every >= nsteps) has no
+    # "checkpoint" phase to price — skip it rather than divide by zero
+    for every in (e for e in (1, 2, 4) if e < nsteps):
+        gcfg = base.with_(detect=False, buddy_every=every)
+        buddy_out = run_agcm_guarded(
+            cfg, decomp, nsteps, machine, guard=gcfg, return_fields=False
+        )
+        buddy_s = buddy_out.result.trace.phase_max("checkpoint")
+        with tempfile.TemporaryDirectory() as td:
+            disk_out = run_agcm_guarded(
+                cfg, decomp, nsteps, machine,
+                guard=base.with_(detect=False, buddy_every=0),
+                checkpoint_every=every,
+                checkpoint_path=Path(td) / "ck.npz",
+                return_fields=False,
+            )
+        disk_s = disk_out.result.trace.phase_max("checkpoint")
+        ratio = disk_s / buddy_s if buddy_s else float("inf")
+        ckpt_table.add_row(every, buddy_s, disk_s, f"{ratio:.1f}x")
+        ckpt_rows.append({
+            "every": every,
+            "buddy_seconds": buddy_s,
+            "disk_seconds": disk_s,
+            "ratio": ratio,
+        })
+
+    return ExperimentResult(
+        ident="guard",
+        title="Numerical-health supervision: overhead, recovery, buddy "
+              "checkpointing",
+        tables=[overhead_table, matrix_table, ckpt_table],
+        data={
+            "baseline_elapsed": baseline.elapsed,
+            "overhead": overhead_rows,
+            "matrix": matrix_rows,
+            "checkpoint": ckpt_rows,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -897,6 +1060,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = _specs(
     ("advection_opt", run_advection_opt, "medium"),
     ("pointwise", run_pointwise, "medium"),
     ("faults", run_faults, "medium"),
+    ("guard", run_guard, "medium"),
 )
 
 

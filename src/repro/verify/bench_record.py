@@ -40,7 +40,15 @@ TRACKED_RATIOS: Tuple[str, ...] = (
     "speedup_agcm_filtering_new_vs_old",
     "speedup_agcm_total_new_vs_old",
     "straggler_imbalance_reduction",
+    "guard_ckpt_buddy_vs_disk_speedup",
 )
+
+#: Hard acceptance constraints on guard metrics (not drift-gated like
+#: the ratios above — these are absolute bounds from the robustness
+#: ISSUE: detectors cost <= 5% of step time, exactly nothing when
+#: disabled, and diskless buddy snapshots strictly undercut the disk
+#: checkpointer at the 240-node production mesh).
+GUARD_MAX_OVERHEAD_FRACTION = 0.05
 
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
                         "metrics", "tracked_ratios")
@@ -98,7 +106,40 @@ def collect_metrics() -> Dict[str, float]:
         straggler["agcm_straggler_imbalance_static"]
         / straggler["agcm_straggler_imbalance_mitigated"]
     )
+
+    from repro.guard.bench import guard_bench_metrics
+
+    metrics.update(guard_bench_metrics())
     return {k: float(v) for k, v in metrics.items()}
+
+
+def check_constraints(metrics: Dict[str, float]) -> List[str]:
+    """Absolute-bound violations in the guard metrics (empty = pass).
+
+    Unlike the drift gate these do not need a baseline: they encode the
+    robustness ISSUE's acceptance criteria directly.
+    """
+    problems = []
+    overhead = metrics.get("guard_overhead_fraction")
+    if overhead is not None and overhead > GUARD_MAX_OVERHEAD_FRACTION:
+        problems.append(
+            f"guard_overhead_fraction {overhead:.4f} exceeds the "
+            f"{GUARD_MAX_OVERHEAD_FRACTION:.0%} budget"
+        )
+    disabled = metrics.get("guard_disabled_overhead_fraction")
+    if disabled is not None and disabled != 0.0:
+        problems.append(
+            f"guard_disabled_overhead_fraction {disabled!r} is not exactly "
+            f"zero — a disabled guard must be free"
+        )
+    buddy = metrics.get("guard_buddy_ckpt_seconds")
+    disk = metrics.get("guard_disk_ckpt_seconds")
+    if buddy is not None and disk is not None and not buddy < disk:
+        problems.append(
+            f"buddy checkpoint ({buddy:.6g} s) is not strictly cheaper "
+            f"than the disk checkpointer ({disk:.6g} s) at 240 ranks"
+        )
+    return problems
 
 
 def make_entry(

@@ -812,6 +812,70 @@ def fault_recovery_agcm_pair() -> ImplementationPair:
 
 
 # ----------------------------------------------------------------------
+# 9. guard: NaN corruption healed from buddy snapshots
+# ----------------------------------------------------------------------
+
+_GUARD_FIELDS = ("u", "v", "pt", "ps", "q")
+
+
+def _guard_recovery_candidate(config: Config, rng: np.random.Generator):
+    from repro.guard import GuardConfig, StateCorruption, run_agcm_guarded
+
+    seed = int(rng.integers(2**31))
+    cfg = _fault_agcm_config(config, seed)
+    mesh = ProcessorMesh(config["mi"], config["mj"])
+    decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+    gcfg = GuardConfig(
+        policy="rollback_retry",
+        buddy_every=config["buddy"],
+        injections=(
+            StateCorruption(
+                step=config["nsteps"] // 2,
+                rank=config["failrank"] % mesh.size,
+                field=_GUARD_FIELDS[config["fieldidx"]],
+            ),
+        ),
+    )
+    out = run_agcm_guarded(cfg, decomp, config["nsteps"], GENERIC, guard=gcfg)
+    if out.recoveries < 1:
+        raise AssertionError("injected NaN corruption never tripped the guard")
+    return {
+        name: decomp.gather(
+            [out.result.returns[r]["fields"][name] for r in range(mesh.size)]
+        )
+        for name in ("u", "v", "pt", "ps", "q")
+    }
+
+
+def guard_buddy_recovery_pair() -> ImplementationPair:
+    return ImplementationPair(
+        name="guard-buddy-nan-recovery",
+        space=ParamSpace(
+            {
+                "nlat": (12, 16),
+                "nlon": (16, 24),
+                "nlayers": (1, 2),
+                "mi": (1, 2),
+                "mj": (1, 2),
+                "nsteps": (4, 6),
+                "buddy": (1, 2),
+                "failrank": (0, 3),
+                "fieldidx": (0, len(_GUARD_FIELDS) - 1),
+            },
+            constraint=lambda c: c["nlat"] >= 4 * c["mi"]
+            and c["nlon"] >= 4 * c["mj"],
+        ),
+        reference=_fault_recovery_reference,
+        candidate=_guard_recovery_candidate,
+        atol=tolerances.EXACT,
+        rtol=0.0,
+        description="AGCM with a mid-run NaN soft error, detected and "
+        "rolled back from the diskless buddy snapshot, vs the fault-free "
+        "serial run (bit-for-bit)",
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -830,6 +894,7 @@ def default_pairs() -> List[ImplementationPair]:
         agcm_serial_vs_parallel_pair(),
         faulty_collectives_pair(),
         fault_recovery_agcm_pair(),
+        guard_buddy_recovery_pair(),
     ]
 
 

@@ -58,3 +58,13 @@ CLOCK_ATOL = 1e-12
 #: Default differential-engine tolerances when a pair does not override.
 DIFF_ATOL = 1e-9
 DIFF_RTOL = 1e-9
+
+# -- numerical-health supervision (repro.guard) ------------------------
+# Relative change of the global energy/mass integrals between two guard
+# drift checks (``drift_every`` steps apart).  A healthy forced run moves
+# a few percent per check window; a diverging integration blows through
+# these within a couple of steps, long before the state goes non-finite.
+#: Max relative total-energy change between consecutive drift checks.
+GUARD_ENERGY_DRIFT = 0.5
+#: Max relative mass-integral change between consecutive drift checks.
+GUARD_MASS_DRIFT = 0.05

@@ -5,6 +5,7 @@ import pytest
 
 from repro.faults import FaultPlan, LinkFault, RankFailure
 from repro.faults.checkpoint import (
+    CheckpointCorruptError,
     CheckpointData,
     Checkpointer,
     load_checkpoint,
@@ -81,6 +82,72 @@ class TestSaveLoadRoundTrip:
         assert [ck.due(s, 6) for s in range(6)] == [
             False, True, False, True, False, False
         ]
+
+
+class TestIntegrity:
+    """Corruption must surface as CheckpointCorruptError, never as an
+    opaque numpy/zipfile error or — worse — silently wrong state."""
+
+    def _saved(self, tmp_path, rng):
+        cfg = _cfg()
+        return save_checkpoint(tmp_path / "snap.npz", _random_snapshot(rng, cfg))
+
+    def _rewrite(self, path, mutate):
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k].copy() for k in z.files}
+        mutate(arrays)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    def test_truncated_archive(self, tmp_path, rng):
+        path = self._saved(tmp_path, rng)
+        path.write_bytes(path.read_bytes()[:200])
+        with pytest.raises(CheckpointCorruptError, match="unreadable archive") as err:
+            load_checkpoint(path)
+        assert path.name in str(err.value)  # names the offending file
+        assert err.value.reason.startswith("unreadable archive")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointCorruptError, match="unreadable archive"):
+            load_checkpoint(path)
+
+    def test_silent_bit_rot_caught_by_checksum(self, tmp_path, rng):
+        path = self._saved(tmp_path, rng)
+
+        def flip(arrays):
+            arrays["now_u"][0, 0, 0] += 1.0  # archive still loads fine
+
+        self._rewrite(path, flip)
+        with pytest.raises(CheckpointCorruptError, match="checksum mismatch"):
+            load_checkpoint(path)
+
+    def test_missing_checksum_rejected(self, tmp_path, rng):
+        import json
+
+        path = self._saved(tmp_path, rng)
+
+        def strip(arrays):
+            meta = json.loads(str(arrays["meta"]))
+            del meta["checksum"]
+            arrays["meta"] = np.array(json.dumps(meta))
+
+        self._rewrite(path, strip)
+        with pytest.raises(CheckpointCorruptError, match="no content checksum"):
+            load_checkpoint(path)
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "never-written.npz")
+
+    def test_checkpointer_load_propagates_corruption(self, tmp_path, rng):
+        ck = Checkpointer(2, tmp_path / "ck.npz")
+        save_checkpoint(ck.path, _random_snapshot(rng, _cfg()))
+        ck.written = 1  # as if the save above went through this instance
+        ck.path.write_bytes(ck.path.read_bytes()[:200])
+        with pytest.raises(CheckpointCorruptError):
+            ck.load()
 
 
 def _serial_fields(cfg, nsteps):
@@ -172,6 +239,49 @@ class TestRecovery:
         assert a.total_elapsed == b.total_elapsed
         assert a.failures == b.failures
         assert a.result.clocks == b.result.clocks
+
+    def test_corrupt_checkpoint_degrades_to_cold_start(
+        self, tmp_path, monkeypatch
+    ):
+        """A torn checkpoint write must cost the recovery its resume
+        point, not the whole run: warn, cold-start, still bit-for-bit."""
+        import repro.faults.checkpoint as ckpt_mod
+
+        cfg = _cfg()
+        mesh = ProcessorMesh(2, 2)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        from repro.model.parallel_agcm import agcm_rank_program
+
+        probe = Simulator(mesh.size, GENERIC).run(
+            agcm_rank_program, cfg, decomp, self.NSTEPS, False
+        )
+        real_save = save_checkpoint
+
+        def torn_write(path, data):
+            out = real_save(path, data)
+            raw = out.read_bytes()
+            out.write_bytes(raw[: len(raw) // 2])
+            return out
+
+        monkeypatch.setattr(ckpt_mod, "save_checkpoint", torn_write)
+        plan = FaultPlan(
+            seed=11, failures=(RankFailure(rank=2, at=0.55 * probe.elapsed),)
+        )
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            out = run_agcm_with_recovery(
+                cfg, decomp, self.NSTEPS, GENERIC,
+                faults=plan, checkpoint_every=2,
+                checkpoint_path=tmp_path / "torn.npz",
+            )
+        assert out.restarts == 1
+        assert out.resumed_steps == [0, 0]  # cold start, not a crash
+        ref = _serial_fields(cfg, self.NSTEPS)
+        for name, want in ref.items():
+            gathered = decomp.gather(
+                [out.result.returns[r]["fields"][name]
+                 for r in range(mesh.size)]
+            )
+            np.testing.assert_array_equal(gathered, want, err_msg=name)
 
     def test_max_restarts_exhausted(self, tmp_path):
         from repro.parallel import RankFailedError

@@ -115,15 +115,26 @@ class TestStretchCompute:
         # 1s of work starting at t=1.5: 0.5 fast, then 0.5 nominal at 2x.
         assert plan.stretch_compute(0, 1.5, 1.0) == pytest.approx(1.5)
 
-    def test_overlapping_windows_take_max_factor(self):
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlapping slowdown windows"):
+            FaultPlan(
+                seed=0,
+                slowdowns=(
+                    SlowdownWindow(0, 0.0, 10.0, 2.0),
+                    SlowdownWindow(0, 0.0, 10.0, 5.0),
+                ),
+            )
+
+    def test_same_span_on_different_ranks_allowed(self):
         plan = FaultPlan(
             seed=0,
             slowdowns=(
                 SlowdownWindow(0, 0.0, 10.0, 2.0),
-                SlowdownWindow(0, 0.0, 10.0, 5.0),
+                SlowdownWindow(1, 0.0, 10.0, 5.0),
             ),
         )
-        assert plan.stretch_compute(0, 0.0, 1.0) == pytest.approx(5.0)
+        assert plan.stretch_compute(0, 0.0, 1.0) == pytest.approx(2.0)
+        assert plan.stretch_compute(1, 0.0, 1.0) == pytest.approx(5.0)
 
 
 class TestValidationAndRecoveryHelpers:
@@ -151,6 +162,30 @@ class TestValidationAndRecoveryHelpers:
             LinkFault(drop_rate=1.0)
         with pytest.raises(ValueError):
             RankFailure(0, 1.0, mode="limp")
+
+    def test_negative_rank_and_time_rejected(self):
+        with pytest.raises(ValueError):
+            SlowdownWindow(-1, 0.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            SlowdownWindow(0, -0.5, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            RankFailure(-3, 1.0)
+        with pytest.raises(ValueError):
+            LinkFault(src=-2, drop_rate=0.1)
+        with pytest.raises(ValueError):
+            LinkFault(t0=2.0, t1=1.0, drop_rate=0.1)
+
+    def test_validate_ranks_actionable_messages(self):
+        plan = FaultPlan(seed=0, slowdowns=(SlowdownWindow(7, 0.0, 1.0, 2.0),))
+        with pytest.raises(ValueError, match=r"out of range for 4 ranks"):
+            plan.validate_ranks(4)
+        plan.validate_ranks(8)  # in range: no error
+        bad = FaultPlan(seed=0, failures=(RankFailure(9, 1.0),))
+        with pytest.raises(ValueError, match=r"valid: 0\.\.3"):
+            bad.validate_ranks(4)
+        link = FaultPlan(seed=0, link_faults=(LinkFault(dst=5, drop_rate=0.1),))
+        with pytest.raises(ValueError, match="link-fault"):
+            link.validate_ranks(4)
 
     def test_without_failure_consumes_only_that_rank(self):
         plan = FaultPlan(

@@ -35,8 +35,9 @@ class TestComponentBreakdown:
 
     def test_components_positive(self, breakdown):
         for key, value in breakdown.as_dict().items():
-            if key in ("retry", "checkpoint"):
-                # fault/checkpoint phases only appear under injection
+            if key in ("retry", "checkpoint", "guard"):
+                # fault/checkpoint/guard phases only appear when injected
+                # or supervised — an unguarded run must charge nothing
                 assert value == 0.0, key
             else:
                 assert value > 0, key

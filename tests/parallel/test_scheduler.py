@@ -162,6 +162,58 @@ class TestDeadlock:
         with pytest.raises(DeadlockError):
             Simulator(2, GENERIC).run(program)
 
+    def test_wait_graph_names_peer_tag_and_time(self):
+        def program(ctx):
+            yield Compute(seconds=0.5 * (1 + ctx.rank))
+            yield Recv(1 - ctx.rank, tag=0xBEEF)
+
+        with pytest.raises(DeadlockError) as err:
+            Simulator(2, GENERIC).run(program)
+        graph = err.value.wait_graph
+        assert graph[0] == {
+            "kind": "recv", "on": [1], "tag": 0xBEEF, "since": 0.5,
+        }
+        assert graph[1]["on"] == [0] and graph[1]["since"] == 1.0
+        msg = str(err.value)
+        assert "rank 0 waiting on rank 1" in msg
+        assert "recv(tag=0x0000beef)" in msg
+        assert "since t=0.5 s" in msg
+
+    def test_wait_graph_barrier_lists_missing_ranks(self):
+        def program(ctx):
+            if ctx.rank < 2:
+                yield Barrier(group=(0, 1, 2))
+            else:
+                yield Recv(0)  # never arrives at the barrier
+
+        with pytest.raises(DeadlockError) as err:
+            Simulator(3, GENERIC).run(program)
+        graph = err.value.wait_graph
+        assert graph[0]["kind"] == "barrier" and graph[0]["on"] == [2]
+        assert graph[0]["group"] == [0, 1, 2]
+        assert graph[2]["kind"] == "recv" and graph[2]["on"] == [0]
+        assert "waiting on rank(s) [2]" in str(err.value)
+
+    def test_wait_graph_marks_hung_rank(self):
+        from repro.faults import FaultPlan, RankFailure
+
+        def program(ctx):
+            yield Compute(seconds=1.0)
+            if ctx.rank == 0:
+                yield Recv(1)
+            else:
+                yield Send(0, payload=1.0)
+
+        plan = FaultPlan(
+            seed=3, failures=(RankFailure(rank=1, at=0.5, mode="hang"),)
+        )
+        with pytest.raises(DeadlockError) as err:
+            Simulator(2, GENERIC, faults=plan).run(program)
+        graph = err.value.wait_graph
+        assert graph[1]["kind"] == "hang" and graph[1]["on"] == []
+        assert graph[0]["kind"] == "recv" and graph[0]["on"] == [1]
+        assert "rank 1 failed (hang)" in str(err.value)
+
 
 class TestBarrier:
     def test_barrier_aligns_clocks(self):

@@ -65,6 +65,17 @@ def main(argv=None) -> int:
         marker = "  [tracked]" if name in bench_record.TRACKED_RATIOS else ""
         print(f"  {name:<{width}}  {metrics[name]:12.4f}{marker}")
 
+    violations = bench_record.check_constraints(metrics)
+    if violations:
+        print(
+            f"\nGATE FAILED: {len(violations)} absolute guard "
+            f"constraint(s) violated:"
+        )
+        for violation in violations:
+            print(f"  - {violation}")
+        print("entry NOT recorded.")
+        return 2
+
     regressions = bench_record.compare_to_baseline(
         metrics, baseline, threshold=args.threshold
     )
