@@ -17,6 +17,13 @@ Usage::
                                          # numerical-health supervision
                                          # demo (overhead + recovery
                                          # matrix + buddy-vs-disk)
+    python -m repro campaign [SELECTOR ...] [--sweep NAME] [--workers N]
+                             [--cache-dir [PATH]] [--resume] [--obs]
+                             [--no-cache] [--report-out [PATH]]
+                             [--json-out [PATH]] [--results]
+                                         # process-parallel sweep over
+                                         # the registry with content-
+                                         # addressed result caching
 """
 
 from __future__ import annotations
@@ -199,6 +206,111 @@ def _cmd_guard(rest: list[str]) -> int:
     return 0
 
 
+def _cmd_campaign(rest: list[str]) -> int:
+    import json
+
+    from repro import api
+    from repro.campaign.scheduler import default_cache_dir
+    from repro.campaign.units import SWEEPS
+
+    selectors: list[str] = []
+    sweep: str | None = None
+    workers = 1
+    cache_dir: str | None = None
+    resume = False
+    obs = False
+    use_cache = True
+    report_out: str | None = None
+    json_out: str | None = None
+    want_report = want_json = show_results = False
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--workers":
+            if i + 1 >= len(rest):
+                print("campaign: --workers requires an integer",
+                      file=sys.stderr)
+                return 2
+            try:
+                workers = int(rest[i + 1])
+            except ValueError:
+                print(f"campaign: --workers expects an integer, got "
+                      f"{rest[i + 1]!r}", file=sys.stderr)
+                return 2
+            if workers < 1:
+                print("campaign: --workers must be >= 1", file=sys.stderr)
+                return 2
+            i += 2
+        elif arg == "--sweep":
+            if i + 1 >= len(rest):
+                print(f"campaign: --sweep requires a name "
+                      f"(one of {', '.join(sorted(SWEEPS))})",
+                      file=sys.stderr)
+                return 2
+            sweep, i = rest[i + 1], i + 2
+        elif arg == "--cache-dir":
+            cache_dir, i = _optional_value(rest, i)
+            cache_dir = cache_dir or default_cache_dir()
+        elif arg == "--resume":
+            resume = True
+            i += 1
+        elif arg == "--obs":
+            obs = True
+            i += 1
+        elif arg == "--no-cache":
+            use_cache = False
+            i += 1
+        elif arg == "--report-out":
+            want_report = True
+            report_out, i = _optional_value(rest, i)
+        elif arg == "--json-out":
+            want_json = True
+            json_out, i = _optional_value(rest, i)
+        elif arg == "--results":
+            show_results = True
+            i += 1
+        elif arg.startswith("-"):
+            print(f"campaign: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            selectors.append(arg)
+            i += 1
+    if selectors and sweep:
+        print("campaign: pass selectors or --sweep, not both",
+              file=sys.stderr)
+        return 2
+    if resume and cache_dir is None:
+        cache_dir = default_cache_dir()
+    start = time.time()
+    try:
+        report = api.run_campaign(
+            selectors or None, sweep=sweep, workers=workers,
+            cache_dir=cache_dir, resume=resume, obs=obs,
+            use_cache=use_cache,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(include_results=show_results))
+    if want_report:
+        report_out = report_out or "campaign-report.md"
+        with open(report_out, "w", encoding="utf-8") as fh:
+            fh.write("# Campaign report\n\n```\n")
+            fh.write(report.render(include_results=True))
+            fh.write("\n```\n")
+        print(f"report written to {report_out}")
+    if want_json:
+        json_out = json_out or "campaign-report.json"
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json report written to {json_out}")
+    print(f"[campaign finished in {time.time() - start:.1f}s: "
+          f"{report.cache_hits} hit(s), {report.cache_misses} computed, "
+          f"{report.failures} failed]")
+    return 1 if report.failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help"):
@@ -211,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args[1:])
     if args[0] == "profile":
         return _cmd_profile(args[1:])
+    if args[0] == "campaign":
+        return _cmd_campaign(args[1:])
     if args[0] == "guard" and len(args) > 1:
         # Bare `guard` falls through to the registry experiment below;
         # with flags it becomes the configured demo + report writer.

@@ -161,6 +161,41 @@ def run(experiment: str, *, obs: Union[None, bool, Observer] = None,
                      options=dict(options))
 
 
+def run_campaign(
+    experiments: Optional[Any] = None,
+    *,
+    sweep: Optional[str] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    obs: bool = False,
+    use_cache: bool = True,
+):
+    """Run a process-parallel, cache-backed campaign over the registry.
+
+    ``experiments`` is a list of unit selectors (``"table8"`` for every
+    enumerated point, ``"table8@4x8"`` for one), or None to use the
+    named ``sweep`` (``"smoke"`` by default; see
+    :data:`repro.campaign.SWEEPS`).  Units are sharded across
+    ``workers`` processes with dynamic longest-first scheduling and
+    memoized in the content-addressed store at ``cache_dir``; a rerun
+    (or ``resume=True`` after an interrupt) replays cached units and
+    recomputes only what a code or parameter change invalidated.
+    Returns a :class:`repro.campaign.CampaignReport` (per-unit status,
+    cache hit/miss accounting, worker utilization, speedup vs serial,
+    merged per-worker metrics when ``obs=True``).
+
+    Lazy import: the campaign engine pulls in ``multiprocessing`` and
+    the full registry; the facade stays importable without it.
+    """
+    from repro.campaign import run_campaign as _run_campaign
+
+    return _run_campaign(
+        experiments, sweep=sweep, workers=workers, cache_dir=cache_dir,
+        resume=resume, obs=obs, use_cache=use_cache,
+    )
+
+
 def wrap_sim_result(experiment: str, value: Any,
                     observer: Optional[Observer] = None) -> RunResult:
     """Wrap an ad-hoc ``Simulator.run`` result in the uniform type.
@@ -205,6 +240,7 @@ __all__ = [
     "activate",
     "profile",
     "run",
+    "run_campaign",
     "run_experiment",
     "wrap_sim_result",
 ]

@@ -1,0 +1,192 @@
+"""Campaign outcome accounting and the merged campaign report.
+
+The scheduler emits one :class:`UnitOutcome` per work unit — hit, ran or
+failed, with wall-clock and worker attribution — and the
+:class:`CampaignReport` merges them with cache statistics, per-worker
+utilization and the wall-clock speedup against the estimated serial
+time (the sum of every unit's own duration, with cache hits priced at
+the duration recorded when they were first computed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.util.tables import Table
+
+__all__ = ["CampaignReport", "UnitOutcome"]
+
+#: Status values a unit can finish with.
+STATUSES = ("hit", "ran", "failed")
+
+
+@dataclass
+class UnitOutcome:
+    """How one unit ended: cache hit, freshly computed, or failed."""
+
+    ident: str
+    label: str
+    key: str
+    status: str
+    #: Worker index that produced it; -1 for parent-side cache hits.
+    worker: int
+    #: Wall-clock seconds this campaign spent on the unit (for a hit:
+    #: the probe/load time, not the original compute).
+    seconds: float
+    #: Original compute duration (for hits, from the cache sidecar; for
+    #: fresh runs, equal to ``seconds``).
+    compute_seconds: float
+    error: Optional[str] = None
+    result: Any = None
+    #: Worker-local metrics snapshot (``MetricsRegistry.as_dict`` form).
+    metrics: Optional[Dict[str, Dict[str, float]]] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unit {self.label!r}: bad status {self.status!r}, "
+                f"expected one of {STATUSES}"
+            )
+
+
+@dataclass
+class CampaignReport:
+    """Merged result of one campaign run."""
+
+    sweep: str
+    workers: int
+    wall_seconds: float
+    outcomes: List[UnitOutcome]
+    cache_dir: Optional[str] = None
+    resumed: bool = False
+    #: Merged metrics registry (campaign.* plus per-worker experiment
+    #: metrics when the campaign ran observed).
+    metrics: Any = None
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def units_total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for o in self.outcomes if o.status != "hit")
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.units_total if self.outcomes else 0.0
+
+    @property
+    def serial_seconds(self) -> float:
+        """Estimated one-worker, cold-cache wall time: sum of compute
+        durations of every unit."""
+        return sum(o.compute_seconds for o in self.outcomes)
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        return (self.serial_seconds / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def worker_utilization(self) -> Dict[int, float]:
+        """Busy fraction per worker: executed-unit seconds / wall."""
+        busy: Dict[int, float] = {}
+        for o in self.outcomes:
+            if o.worker >= 0:
+                busy[o.worker] = busy.get(o.worker, 0.0) + o.seconds
+        if self.wall_seconds <= 0:
+            return {w: 0.0 for w in busy}
+        return {w: s / self.wall_seconds for w, s in sorted(busy.items())}
+
+    def results(self) -> Dict[str, Any]:
+        """Merged per-unit results, keyed by unit label."""
+        return {o.label: o.result for o in self.outcomes
+                if o.status != "failed"}
+
+    # -- rendering ------------------------------------------------------
+    def summary_table(self) -> Table:
+        t = Table(
+            f"Campaign summary — sweep {self.sweep!r}, "
+            f"{self.workers} worker(s)",
+            ["metric", "value"],
+        )
+        t.add_row("units", self.units_total)
+        t.add_row("cache hits", self.cache_hits)
+        t.add_row("cache misses", self.cache_misses)
+        t.add_row("hit rate", f"{100 * self.hit_rate:.0f}%")
+        t.add_row("failures", self.failures)
+        t.add_row("wall seconds", f"{self.wall_seconds:.2f}")
+        t.add_row("est. serial seconds", f"{self.serial_seconds:.2f}")
+        t.add_row("speedup vs serial", f"{self.speedup_vs_serial:.2f}x")
+        for w, util in self.worker_utilization().items():
+            t.add_row(f"worker {w} utilization", f"{100 * util:.0f}%")
+        if self.resumed:
+            t.add_row("resumed", "yes")
+        return t
+
+    def unit_table(self) -> Table:
+        t = Table(
+            "Campaign units",
+            ["unit", "status", "worker", "seconds", "note"],
+        )
+        for o in self.outcomes:
+            t.add_row(
+                o.label, o.status,
+                o.worker if o.worker >= 0 else "-",
+                f"{o.seconds:.3f}",
+                o.error or "",
+            )
+        return t
+
+    def render(self, include_results: bool = False) -> str:
+        parts = [self.summary_table().render(), self.unit_table().render()]
+        if include_results:
+            for o in self.outcomes:
+                render = getattr(o.result, "render", None)
+                if render is not None:
+                    parts.append(render())
+        return "\n\n".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-able report document (no result payloads)."""
+        doc: Dict[str, Any] = {
+            "sweep": self.sweep,
+            "workers": self.workers,
+            "resumed": self.resumed,
+            "cache_dir": self.cache_dir,
+            "units_total": self.units_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "failures": self.failures,
+            "wall_seconds": self.wall_seconds,
+            "serial_seconds": self.serial_seconds,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "worker_utilization": {
+                str(w): u for w, u in self.worker_utilization().items()
+            },
+            "units": [
+                {
+                    "ident": o.ident,
+                    "label": o.label,
+                    "key": o.key,
+                    "status": o.status,
+                    "worker": o.worker,
+                    "seconds": o.seconds,
+                    "compute_seconds": o.compute_seconds,
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics.as_dict()
+        return doc

@@ -1,0 +1,298 @@
+"""Process-parallel campaign scheduler with dynamic self-scheduling.
+
+The scheduler turns a selector list (or named sweep) into work units,
+answers what it can from the content-addressed cache, and shards the
+remaining units across a ``multiprocessing`` worker pool fed by one
+shared queue.  Pulling from a shared queue *is* the dynamic
+work-stealing of Carretti & Messina's PM work distribution: a worker
+that finishes early immediately steals the next pending unit, and
+because the queue is ordered longest-estimate-first (LPT), a slow unit
+(``table4`` at 240 nodes) starts at the front instead of serializing
+the tail of the campaign.
+
+Crash safety: workers write each finished unit to the cache *before*
+reporting it, so a campaign killed at any point leaves a prefix of
+completed, atomically-written entries behind.  ``resume=True`` replays
+the interrupted campaign's manifest: completed units come back as cache
+hits, only the remainder recomputes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from datetime import datetime, timezone
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.campaign.cache import ResultCache
+from repro.campaign.report import CampaignReport, UnitOutcome
+from repro.campaign.units import (
+    CampaignUnit,
+    describe_sweep,
+    enumerate_units,
+    execute_unit,
+    sort_for_schedule,
+    unit_manifest_entry,
+)
+
+__all__ = ["run_campaign"]
+
+#: How long the parent waits on the result queue before checking worker
+#: liveness (a killed worker must not hang the campaign forever).
+_POLL_SECONDS = 0.25
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap workers sharing the already
+    imported numpy/experiment modules); spawn otherwise."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+def _run_one(unit: CampaignUnit, worker: int,
+             cache: Optional[ResultCache], observe: bool) -> UnitOutcome:
+    """Execute one unit (in whatever process this is) and cache it."""
+    t0 = time.perf_counter()
+    value = None
+    error = None
+    metrics = None
+    try:
+        if observe:
+            from repro.obs import Observer, activate
+
+            obs = Observer()
+            with activate(obs):
+                value = execute_unit(unit)
+            metrics = obs.metrics.as_dict()
+        else:
+            value = execute_unit(unit)
+    except Exception as exc:  # noqa: BLE001 - reported per unit
+        error = f"{type(exc).__name__}: {exc}"
+    seconds = time.perf_counter() - t0
+    if cache is not None and error is None:
+        cache.put(
+            unit.key, value,
+            meta={
+                "ident": unit.ident,
+                "point": unit.point.label,
+                "duration": seconds,
+                "version": __version__,
+                "worker": worker,
+            },
+        )
+    return UnitOutcome(
+        ident=unit.ident, label=unit.label, key=unit.key,
+        status="failed" if error else "ran",
+        worker=worker, seconds=seconds, compute_seconds=seconds,
+        error=error, result=value, metrics=metrics,
+    )
+
+
+def _worker_main(worker: int, cache_dir: Optional[str], observe: bool,
+                 task_q, result_q) -> None:
+    """Worker loop: pull units until the sentinel, report each outcome."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    while True:
+        unit = task_q.get()
+        if unit is None:
+            break
+        result_q.put(_run_one(unit, worker, cache, observe))
+
+
+def _campaign_metrics(report: CampaignReport, merged: Sequence) -> None:
+    """Fill ``report.metrics``: campaign counters + merged worker data."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "campaign.units", "work units in the campaign"
+    ).inc(report.units_total)
+    registry.counter("campaign.cache_hits").inc(report.cache_hits)
+    registry.counter("campaign.cache_misses").inc(report.cache_misses)
+    registry.counter("campaign.failures").inc(report.failures)
+    registry.gauge("campaign.wall_seconds").set(report.wall_seconds)
+    registry.gauge(
+        "campaign.speedup_vs_serial"
+    ).set(report.speedup_vs_serial)
+    for w, util in report.worker_utilization().items():
+        registry.gauge(f"campaign.worker.{w}.utilization").set(util)
+    for data in merged:
+        if data:
+            registry.merge(data)
+    report.metrics = registry
+
+
+def run_campaign(
+    selectors: Optional[Sequence[str]] = None,
+    *,
+    sweep: Optional[str] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    obs: bool = False,
+    use_cache: bool = True,
+) -> CampaignReport:
+    """Run a campaign and return its merged :class:`CampaignReport`.
+
+    ``selectors`` are unit selectors (``"table8"``, ``"table8@4x8"``,
+    ...); ``sweep`` names a predefined list (``"smoke"``, ``"mini"``,
+    ``"full"``).  Exactly one of the two is normally given; with
+    neither, the ``smoke`` sweep runs.  ``workers <= 1`` executes
+    in-process (the serial baseline — same code path as a worker, no
+    pool).  ``cache_dir`` enables the content-addressed result store
+    and the resume manifest; ``resume=True`` re-plans the last
+    interrupted campaign recorded there.  ``obs=True`` runs every unit
+    under a per-worker :class:`repro.obs.Observer` and merges all
+    worker metrics into ``report.metrics``.
+    """
+    if selectors is not None and sweep is not None:
+        raise ValueError("pass either selectors or sweep=, not both")
+    sweep_name = sweep
+    if selectors is None:
+        sweep_name = sweep or "smoke"
+        selectors = describe_sweep(sweep_name)
+    selectors = list(selectors)
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if resume:
+        if cache is None:
+            raise ValueError("resume=True requires a cache_dir")
+        manifest = cache.read_manifest()
+        if manifest is None:
+            raise ValueError(
+                f"nothing to resume: no manifest in {cache_dir!r}"
+            )
+        selectors = list(manifest["selectors"])
+        sweep_name = manifest.get("sweep") or sweep_name
+
+    units = enumerate_units(selectors, __version__)
+    if cache is not None:
+        cache.write_manifest({
+            "version": __version__,
+            "sweep": sweep_name,
+            "selectors": selectors,
+            "workers": workers,
+            "started": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "units": [unit_manifest_entry(u) for u in units],
+        })
+
+    t0 = time.perf_counter()
+    outcomes: List[UnitOutcome] = []
+
+    # -- parent-side cache probe: hits never reach the pool -------------
+    pending: List[CampaignUnit] = []
+    for unit in units:
+        if use_cache and cache is not None and cache.contains(unit.key):
+            p0 = time.perf_counter()
+            value = cache.get(unit.key)
+            if value is not None:
+                meta = cache.meta(unit.key)
+                outcomes.append(UnitOutcome(
+                    ident=unit.ident, label=unit.label, key=unit.key,
+                    status="hit", worker=-1,
+                    seconds=time.perf_counter() - p0,
+                    compute_seconds=float(
+                        meta.get("duration", unit.est_cost)
+                    ),
+                    result=value,
+                ))
+                continue
+        pending.append(unit)
+
+    pending = sort_for_schedule(pending)
+    nworkers = max(1, min(workers, len(pending))) if pending else 0
+
+    if nworkers <= 1:
+        for unit in pending:
+            outcomes.append(_run_one(unit, 0, cache, obs))
+    else:
+        outcomes.extend(
+            _run_pool(pending, nworkers,
+                      cache_dir if cache is not None else None, obs)
+        )
+
+    wall = time.perf_counter() - t0
+    order = {u.key: i for i, u in enumerate(units)}
+    outcomes.sort(key=lambda o: order.get(o.key, len(order)))
+    report = CampaignReport(
+        sweep=sweep_name or "<custom>",
+        workers=max(1, workers),
+        wall_seconds=wall,
+        outcomes=outcomes,
+        cache_dir=cache_dir,
+        resumed=resume,
+    )
+    _campaign_metrics(report, [o.metrics for o in outcomes])
+    return report
+
+
+def _run_pool(pending: Sequence[CampaignUnit], nworkers: int,
+              cache_dir: Optional[str], obs: bool) -> List[UnitOutcome]:
+    """Dispatch ``pending`` to a fresh worker pool; collect all outcomes.
+
+    Tolerates dying workers: if every worker has exited while outcomes
+    are still owed, the missing units are reported as failed instead of
+    hanging the parent.
+    """
+    ctx = _mp_context()
+    task_q = ctx.Queue()
+    result_q = ctx.Queue()
+    for unit in pending:
+        task_q.put(unit)
+    for _ in range(nworkers):
+        task_q.put(None)
+
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(w, cache_dir, obs, task_q, result_q),
+            daemon=True,
+        )
+        for w in range(nworkers)
+    ]
+    for p in procs:
+        p.start()
+
+    outcomes: List[UnitOutcome] = []
+    try:
+        while len(outcomes) < len(pending):
+            try:
+                outcomes.append(result_q.get(timeout=_POLL_SECONDS))
+            except queue_mod.Empty:
+                if not any(p.is_alive() for p in procs):
+                    break
+        if len(outcomes) < len(pending):
+            done = {o.key for o in outcomes}
+            for unit in pending:
+                if unit.key not in done:
+                    outcomes.append(UnitOutcome(
+                        ident=unit.ident, label=unit.label, key=unit.key,
+                        status="failed", worker=-1, seconds=0.0,
+                        compute_seconds=0.0,
+                        error="worker died before completing this unit",
+                    ))
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+        # Queues feed a background thread; close them explicitly so the
+        # parent never blocks on their finalizers.
+        for q in (task_q, result_q):
+            q.close()
+            q.cancel_join_thread()
+    return outcomes
+
+
+def default_cache_dir() -> str:
+    """The conventional cache location used by the CLI when ``--cache-dir``
+    is given without a value."""
+    return os.path.join(".repro-campaign-cache")

@@ -90,6 +90,21 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
+    def merge(self, other: Union["MetricsRegistry", Dict]) -> None:
+        """Fold another registry (or its ``as_dict`` form) into this one.
+
+        Counters add, gauges take the incoming value.  This is how the
+        campaign engine unifies per-worker registries — each worker
+        process records into its own registry and ships
+        ``as_dict()`` across the result queue; the parent merges them
+        into the single campaign-wide registry.
+        """
+        data = other.as_dict() if isinstance(other, MetricsRegistry) else other
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """``{"counters": {name: value}, "gauges": {name: value}}``."""
         out: Dict[str, Dict[str, float]] = {"counters": {}, "gauges": {}}

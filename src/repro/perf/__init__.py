@@ -1,4 +1,13 @@
-"""Single-node performance laboratory (paper Section 3.4)."""
+"""Single-node performance laboratory (paper Section 3.4).
+
+Kernel aliasing contract: the BLAS-style wrappers in
+:mod:`repro.perf.kernels` keep a small, bounded pool of internal scratch
+buffers.  Passing an array that overlaps one of those buffers (notably as
+the ``y`` accumulator of :func:`blas_axpy`) is detected via
+``numpy.shares_memory`` and served through a safe temporary-allocating
+path, so callers never observe clobbered inputs; they only lose the
+zero-allocation fast path.
+"""
 
 from repro.perf.cache_sim import CacheSim, CacheStats, loop_time, miss_time
 from repro.perf.access_patterns import (

@@ -40,7 +40,11 @@ def pointwise_multiply_naive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     n, m = a.shape[0], b.shape[0]
     if n % m != 0:
         raise ValueError(f"len(a)={n} must be divisible by len(b)={m}")
-    out = np.empty(n)
+    # Allocate in the promoted dtype of the operands, matching the
+    # broadcast variants: a bare np.empty(n) defaults to float64, which
+    # made this "oracle" disagree in dtype with the fast paths whenever
+    # the inputs were float32.
+    out = np.empty(n, dtype=np.result_type(a.dtype, b.dtype))
     for k in range(n):
         out[k] = a[k] * b[k % m]
     return out
@@ -65,7 +69,7 @@ def pointwise_multiply_tiled(a: np.ndarray, b: np.ndarray,
     if n % m != 0:
         raise ValueError(f"len(a)={n} must be divisible by len(b)={m}")
     if out is None:
-        out = np.empty(n)
+        out = np.empty(n, dtype=np.result_type(a.dtype, b.dtype))
     np.multiply(a.reshape(n // m, m), b, out=out.reshape(n // m, m))
     return out
 
@@ -102,22 +106,40 @@ def blas_scal(alpha: float, x: np.ndarray) -> None:
 
 
 def blas_axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
-    """daxpy: ``y += alpha * x`` without temporaries."""
+    """daxpy: ``y += alpha * x`` without temporaries.
+
+    Aliasing contract: ``y`` (or ``x``) may overlap the module's cached
+    scratch buffer — e.g. an array obtained from a previous call's
+    workspace.  Writing ``alpha * x`` into the scratch would then clobber
+    ``y`` before the accumulate (the result silently came out as
+    ``2 * alpha * x``); such calls are detected with
+    :func:`numpy.shares_memory` and served by a safe temporary instead.
+    """
+    buf = _axpy_buf(x.shape, x.dtype)
+    if np.shares_memory(y, buf) or (x is not buf and np.shares_memory(x, buf)):
+        y += alpha * x
+        return
     # Single fused pass; numpy's out= avoids the intermediate alpha*x.
-    np.multiply(x, alpha, out=_axpy_buf(x.shape, x.dtype))
-    y += _AXPY_BUF[(x.shape, x.dtype.str)]
+    np.multiply(x, alpha, out=buf)
+    y += buf
 
 
+#: Scratch buffers keyed by (shape, dtype), most recently used last.
+#: Bounded at :data:`_AXPY_BUF_MAX` entries — it used to grow without
+#: limit, one buffer per (shape, dtype) ever seen.
 _AXPY_BUF: dict = {}
+_AXPY_BUF_MAX = 8
 
 
 def _axpy_buf(shape, dtype) -> np.ndarray:
-    """Reusable scratch buffer keyed by (shape, dtype)."""
+    """Reusable scratch buffer keyed by (shape, dtype), LRU-bounded."""
     key = (shape, np.dtype(dtype).str)
-    buf = _AXPY_BUF.get(key)
+    buf = _AXPY_BUF.pop(key, None)
     if buf is None or buf.shape != shape:
         buf = np.empty(shape, dtype=dtype)
-        _AXPY_BUF[key] = buf
+    _AXPY_BUF[key] = buf  # re-insert: most recently used moves last
+    while len(_AXPY_BUF) > _AXPY_BUF_MAX:
+        _AXPY_BUF.pop(next(iter(_AXPY_BUF)))
     return buf
 
 

@@ -1002,6 +1002,49 @@ COST_TIERS = ("fast", "medium", "slow")
 
 
 @dataclass(frozen=True)
+class ParamPoint:
+    """One enumerable parameter point of an experiment.
+
+    A point is a labelled bundle of runner keyword options — one mesh of
+    a timing table, one machine model, one filter variant.  Points are
+    the unit of work the campaign engine (:mod:`repro.campaign`) shards
+    across workers and memoizes in its content-addressed cache, so they
+    are hashable (options are stored as a sorted tuple of pairs) and
+    their option values must be built from primitives, tuples and
+    strings.  A ``machine`` option may name a preset model (``"t3d"``);
+    the campaign resolves it via :func:`repro.parallel.make_machine`
+    just before calling the runner, keeping the point itself cacheable.
+    """
+
+    label: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, label: str, **options) -> "ParamPoint":
+        return cls(label, tuple(sorted(options.items())))
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _mesh_points(meshes: Sequence[Tuple[int, int]],
+                 option: str = "meshes") -> Tuple[ParamPoint, ...]:
+    """One point per node mesh: ``meshes=((p, q),)`` labelled ``pxq``.
+
+    Splitting a timing table into per-mesh points is what lets the
+    campaign scheduler run a slow table's meshes on different workers
+    instead of serializing them inside one unit.
+    """
+    return tuple(
+        ParamPoint.make(f"{p}x{q}", **{option: ((p, q),)})
+        for p, q in meshes
+    )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """A registered experiment: name, documentation and cost, sans side
     effects.
@@ -1020,6 +1063,10 @@ class ExperimentSpec:
     #: "fast" finishes in seconds, "medium" in tens of seconds,
     #: "slow" takes minutes.
     cost: str = "medium"
+    #: Enumerable parameter points (one campaign work unit each).  Empty
+    #: means the experiment is a single indivisible unit run with its
+    #: default options.
+    points: Tuple[ParamPoint, ...] = ()
 
     def __post_init__(self) -> None:
         if self.cost not in COST_TIERS:
@@ -1027,36 +1074,59 @@ class ExperimentSpec:
                 f"experiment {self.name!r}: cost {self.cost!r} not in "
                 f"{COST_TIERS}"
             )
+        labels = [p.label for p in self.points]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                f"experiment {self.name!r}: duplicate point labels "
+                f"{labels}"
+            )
 
     @property
     def doc(self) -> str:
         """First line of the runner's docstring."""
         return (self.runner.__doc__ or "").strip().splitlines()[0]
 
+    def param_points(self) -> Tuple[ParamPoint, ...]:
+        """The enumerable points, or the single default point."""
+        return self.points or (ParamPoint("default"),)
+
+    def point(self, label: str) -> ParamPoint:
+        """Look up one of :meth:`param_points` by label."""
+        for p in self.param_points():
+            if p.label == label:
+                return p
+        raise KeyError(
+            f"experiment {self.name!r} has no point {label!r}; "
+            f"available: {[p.label for p in self.param_points()]}"
+        )
+
     def __call__(self, **options) -> ExperimentResult:
         return self.runner(**options)
 
 
-def _specs(*entries: Tuple[str, Callable[..., ExperimentResult], str]):
-    return {name: ExperimentSpec(name, runner, cost)
-            for name, runner, cost in entries}
+def _specs(*entries):
+    return {e[0]: ExperimentSpec(*e) for e in entries}
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = _specs(
-    ("fig1", run_fig1, "medium"),
-    ("fig2_3", run_fig2_3, "fast"),
+    ("fig1", run_fig1, "medium", _mesh_points(((4, 4), (8, 30)))),
+    ("fig2_3", run_fig2_3, "fast", (
+        ParamPoint.make("4x8", mesh_dims=(4, 8)),
+        ParamPoint.make("8x8", mesh_dims=(8, 8)),
+    )),
     ("fig4_6", run_fig4_6, "fast"),
-    ("tables1_3", run_tables1_3, "slow"),
-    ("table4", run_table4, "slow"),
-    ("table5", run_table5, "slow"),
-    ("table6", run_table6, "slow"),
-    ("table7", run_table7, "slow"),
-    ("table8", run_table8, "medium"),
-    ("table9", run_table9, "medium"),
-    ("table10", run_table10, "slow"),
-    ("table11", run_table11, "slow"),
+    ("tables1_3", run_tables1_3, "slow", _mesh_points(PHYSICS_LB_MESHES)),
+    ("table4", run_table4, "slow", _mesh_points(AGCM_MESHES)),
+    ("table5", run_table5, "slow", _mesh_points(AGCM_MESHES)),
+    ("table6", run_table6, "slow", _mesh_points(AGCM_MESHES)),
+    ("table7", run_table7, "slow", _mesh_points(AGCM_MESHES)),
+    ("table8", run_table8, "medium", _mesh_points(FILTER_MESHES)),
+    ("table9", run_table9, "medium", _mesh_points(FILTER_MESHES)),
+    ("table10", run_table10, "slow", _mesh_points(FILTER_MESHES)),
+    ("table11", run_table11, "slow", _mesh_points(FILTER_MESHES)),
     ("blockarray", run_blockarray, "fast"),
-    ("sp2", run_sp2_supplementary, "medium"),
+    ("sp2", run_sp2_supplementary, "medium",
+     _mesh_points(((4, 4), (8, 8)))),
     ("advection_opt", run_advection_opt, "medium"),
     ("pointwise", run_pointwise, "medium"),
     ("faults", run_faults, "medium"),

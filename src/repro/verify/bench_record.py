@@ -7,7 +7,12 @@ the derived speedup *ratios* the paper's argument rests on.  Because the
 simulator prices work deterministically, these numbers are exactly
 reproducible: any drift is a real behavioural change in the codebase,
 not measurement noise.  Wall-clock numbers are deliberately excluded
-from gating (they are noisy); tracked ratios are virtual-time only.
+from drift gating (they are noisy); tracked ratios are virtual-time
+only.  The campaign engine's throughput metrics are the one exception:
+they are inherently wall-clock, so instead of drift-gating them the
+gate enforces *absolute floors* (see :func:`check_constraints`) — the
+scheduler-concurrency probe must reach 2x at 4 workers and a warm-cache
+replay of the smoke sweep must be 10x faster than cold.
 
 The gate (``tools/bench_gate.py``) recomputes the metrics, compares each
 tracked ratio against the most recent recorded entry, and fails when a
@@ -49,6 +54,15 @@ TRACKED_RATIOS: Tuple[str, ...] = (
 #: disabled, and diskless buddy snapshots strictly undercut the disk
 #: checkpointer at the 240-node production mesh).
 GUARD_MAX_OVERHEAD_FRACTION = 0.05
+
+#: Absolute floors on the campaign engine (wall-clock, so floor-gated
+#: rather than drift-gated).  The parallel floor is measured on the
+#: synthetic concurrency probe — calibrated sleep units — so it holds
+#: on any core count; the warm floor is a real smoke-sweep replay
+#: against a warm content-addressed cache.
+CAMPAIGN_MIN_PARALLEL_SPEEDUP = 2.0
+CAMPAIGN_MIN_WARM_SPEEDUP = 10.0
+CAMPAIGN_MIN_WARM_HIT_RATE = 0.9
 
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
                         "metrics", "tracked_ratios")
@@ -110,6 +124,10 @@ def collect_metrics() -> Dict[str, float]:
     from repro.guard.bench import guard_bench_metrics
 
     metrics.update(guard_bench_metrics())
+
+    from repro.campaign.bench import campaign_bench_metrics
+
+    metrics.update(campaign_bench_metrics())
     return {k: float(v) for k, v in metrics.items()}
 
 
@@ -138,6 +156,27 @@ def check_constraints(metrics: Dict[str, float]) -> List[str]:
         problems.append(
             f"buddy checkpoint ({buddy:.6g} s) is not strictly cheaper "
             f"than the disk checkpointer ({disk:.6g} s) at 240 ranks"
+        )
+    parallel = metrics.get("campaign_parallel_speedup_4w")
+    if parallel is not None and parallel < CAMPAIGN_MIN_PARALLEL_SPEEDUP:
+        problems.append(
+            f"campaign_parallel_speedup_4w {parallel:.2f}x is below the "
+            f"{CAMPAIGN_MIN_PARALLEL_SPEEDUP:g}x floor (4-worker "
+            f"concurrency probe vs 1 worker)"
+        )
+    warm = metrics.get("campaign_warm_cache_speedup")
+    if warm is not None and warm < CAMPAIGN_MIN_WARM_SPEEDUP:
+        problems.append(
+            f"campaign_warm_cache_speedup {warm:.2f}x is below the "
+            f"{CAMPAIGN_MIN_WARM_SPEEDUP:g}x floor (warm-cache smoke "
+            f"sweep rerun vs cold)"
+        )
+    hit_rate = metrics.get("campaign_warm_hit_rate")
+    if hit_rate is not None and hit_rate < CAMPAIGN_MIN_WARM_HIT_RATE:
+        problems.append(
+            f"campaign_warm_hit_rate {hit_rate:.0%} is below "
+            f"{CAMPAIGN_MIN_WARM_HIT_RATE:.0%} — the warm rerun "
+            f"recomputed units it should have replayed from cache"
         )
     return problems
 

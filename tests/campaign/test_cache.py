@@ -1,0 +1,106 @@
+"""Content-addressed cache: key stability, round-trips, atomicity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import ResultCache, cache_key, canonical_params
+
+
+class TestCanonicalParams:
+    def test_tuples_and_lists_hash_alike(self):
+        assert canonical_params((1, 2, (3, 4))) == canonical_params(
+            [1, 2, [3, 4]]
+        )
+
+    def test_dict_order_is_irrelevant(self):
+        a = {"meshes": ((4, 4),), "nsteps": 8}
+        b = {"nsteps": 8, "meshes": ((4, 4),)}
+        assert canonical_params(a) == canonical_params(b)
+
+    def test_numpy_scalars_collapse(self):
+        assert canonical_params(np.int64(4)) == 4
+        assert canonical_params(np.float64(0.5)) == 0.5
+
+    def test_uncacheable_value_raises(self):
+        with pytest.raises(TypeError, match="not\\s+cacheable"):
+            canonical_params({"machine": object()})
+
+
+class TestCacheKey:
+    def test_stable_across_spellings(self):
+        k1 = cache_key("table8", {"meshes": ((4, 8),)}, "1.0.0")
+        k2 = cache_key("table8", {"meshes": [[4, 8]]}, "1.0.0")
+        assert k1 == k2
+        assert len(k1) == 64
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key("table8", {"meshes": ((4, 8),)}, "1.0.0")
+        assert cache_key("table9", {"meshes": ((4, 8),)}, "1.0.0") != base
+        assert cache_key("table8", {"meshes": ((8, 8),)}, "1.0.0") != base
+        assert cache_key("table8", {"meshes": ((4, 8),)}, "1.0.1") != base
+
+    def test_matches_value_recorded_at_version_1(self):
+        # Golden key: if canonicalization or the hash recipe ever
+        # changes, every existing cache silently invalidates — make
+        # that an explicit, reviewed event rather than an accident.
+        assert cache_key("fig1", {"nsteps": 8}, "1.0.0") == (
+            "921c5a9b77760786f7fbddcbec60dc217b9a7cb8a3f337a6521d575576d9928b"
+        )
+
+
+class TestResultCache:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        rng = np.random.default_rng(3)
+        value = {"arr": rng.standard_normal(32), "n": 7}
+        key = cache_key("x", {}, "v")
+        cache.put(key, value, meta={"duration": 1.25})
+        assert cache.contains(key)
+        loaded = cache.get(key)
+        assert loaded["n"] == 7
+        assert loaded["arr"].dtype == value["arr"].dtype
+        np.testing.assert_array_equal(loaded["arr"], value["arr"])
+        assert cache.meta(key)["duration"] == 1.25
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("0" * 64) is None
+        assert not cache.contains("0" * 64)
+
+    def test_no_temp_litter_after_put(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("ab" * 32, [1, 2, 3])
+        leftovers = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_keys_enumerates_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        keys = {cache_key("e", {"i": i}, "v") for i in range(5)}
+        for k in keys:
+            cache.put(k, k)
+        assert set(cache.keys()) == keys
+        assert len(cache) == 5
+
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = "cd" * 32
+        cache.put(key, {"ok": True})
+        pkl = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        with open(pkl, "wb") as fh:
+            fh.write(b"\x80")  # truncated pickle
+        assert cache.get(key) is None
+
+    def test_manifest_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.read_manifest() is None
+        cache.write_manifest({"selectors": ["fig1"], "workers": 2})
+        assert cache.read_manifest()["selectors"] == ["fig1"]
