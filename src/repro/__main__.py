@@ -24,6 +24,14 @@ Usage::
                                          # process-parallel sweep over
                                          # the registry with content-
                                          # addressed result caching
+    python -m repro serve [--host HOST] [--port PORT] [--workers N]
+                          [--queue-limit N] [--cache-dir [PATH]]
+                                         # always-on service gateway
+                                         # (cache-first, coalescing,
+                                         # admission control)
+    python -m repro serve --bench [--seed N] [--json-out [PATH]]
+                                         # seeded bursty load replay
+                                         # (cold + warm SLO summary)
 """
 
 from __future__ import annotations
@@ -311,6 +319,114 @@ def _cmd_campaign(rest: list[str]) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_serve(rest: list[str]) -> int:
+    import asyncio
+    import json
+
+    host = "127.0.0.1"
+    port = 0
+    workers = 4
+    queue_limit = 64
+    cache_dir: str | None = None
+    bench = False
+    seed: int | None = None
+    json_out: str | None = None
+    want_json = False
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--host":
+            if i + 1 >= len(rest):
+                print("serve: --host requires a value", file=sys.stderr)
+                return 2
+            host, i = rest[i + 1], i + 2
+        elif arg in ("--port", "--workers", "--queue-limit", "--seed"):
+            if i + 1 >= len(rest):
+                print(f"serve: {arg} requires an integer", file=sys.stderr)
+                return 2
+            try:
+                value = int(rest[i + 1])
+            except ValueError:
+                print(f"serve: {arg} expects an integer, got "
+                      f"{rest[i + 1]!r}", file=sys.stderr)
+                return 2
+            if arg == "--port":
+                port = value
+            elif arg == "--workers":
+                workers = value
+            elif arg == "--queue-limit":
+                queue_limit = value
+            else:
+                seed = value
+            i += 2
+        elif arg == "--cache-dir":
+            cache_dir, i = _optional_value(rest, i)
+            cache_dir = cache_dir or ".repro-serve-cache"
+        elif arg == "--bench":
+            bench = True
+            i += 1
+        elif arg == "--json-out":
+            want_json = True
+            json_out, i = _optional_value(rest, i)
+        elif arg.startswith("-"):
+            print(f"serve: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            print(f"serve: unexpected argument {arg!r}", file=sys.stderr)
+            return 2
+
+    if bench:
+        from repro.serve.bench import run_bench
+        from repro.serve.loadgen import DEFAULT_SEED
+
+        report = run_bench(seed if seed is not None else DEFAULT_SEED,
+                           cache_dir=cache_dir)
+        cold, warm = report["cold"], report["warm"]
+        print(f"cold pass: {cold['requests']} requests, "
+              f"coalesce rate {cold['coalesce_rate']:.0%}, "
+              f"{cold['failures']} failed")
+        print(f"warm pass: {warm['requests']} requests, "
+              f"hit rate {warm['hit_rate']:.0%}, "
+              f"hit p99 {warm['latency_us']['hit']['p99']} us, "
+              f"{warm['throughput_rps']:.1f} rps, "
+              f"{warm['failures']} failed")
+        if want_json:
+            json_out = json_out or "serve-slo.json"
+            with open(json_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"SLO summary written to {json_out}")
+        failed = (cold["failures"] + warm["failures"]
+                  + len(cold["sha_conflicts"]) + len(warm["sha_conflicts"]))
+        return 1 if failed else 0
+
+    from repro.serve import Gateway, ServeConfig
+
+    try:
+        config = ServeConfig(host=host, port=port, pool_workers=workers,
+                             queue_limit=queue_limit, cache_dir=cache_dir)
+    except (TypeError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve_forever() -> None:
+        async with Gateway(config) as gateway:
+            bound_host, bound_port = await gateway.start_server()
+            print(f"gateway listening on http://{bound_host}:{bound_port} "
+                  f"(POST /run, POST /campaign, GET /status, GET /metrics; "
+                  f"Ctrl-C to stop)")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                print(json.dumps(gateway.status(), indent=1, sort_keys=True))
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help"):
@@ -325,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args[1:])
     if args[0] == "campaign":
         return _cmd_campaign(args[1:])
+    if args[0] == "serve":
+        return _cmd_serve(args[1:])
     if args[0] == "guard" and len(args) > 1:
         # Bare `guard` falls through to the registry experiment below;
         # with flags it becomes the configured demo + report writer.

@@ -188,6 +188,12 @@ def run_campaign(
     Lazy import: the campaign engine pulls in ``multiprocessing`` and
     the full registry; the facade stays importable without it.
     """
+    from repro.util.validation import check_positive_int
+
+    # Reject a bad worker count here, before the campaign machinery (and
+    # multiprocessing) ever loads: `workers=0` used to slip through and
+    # surface as a confusing pool-side failure.
+    workers = check_positive_int(workers, "workers (campaign pool size)")
     from repro.campaign import run_campaign as _run_campaign
 
     return _run_campaign(

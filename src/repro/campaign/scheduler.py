@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 from repro import __version__
 from repro.campaign.cache import ResultCache
+from repro.util.validation import check_positive_int
 from repro.campaign.report import CampaignReport, UnitOutcome
 from repro.campaign.units import (
     CampaignUnit,
@@ -152,6 +153,7 @@ def run_campaign(
     """
     if selectors is not None and sweep is not None:
         raise ValueError("pass either selectors or sweep=, not both")
+    workers = check_positive_int(workers, "workers (campaign pool size)")
     sweep_name = sweep
     if selectors is None:
         sweep_name = sweep or "smoke"

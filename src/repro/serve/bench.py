@@ -1,0 +1,87 @@
+"""Gateway serving benchmarks for the regression gate.
+
+One seeded bursty plan is replayed twice against a fresh gateway with
+an empty content-addressed cache:
+
+* the **cold pass** measures coalescing — every burst aims concurrent
+  identical requests at a fresh key, so the gated
+  ``serve_coalesce_rate`` says how much duplicate work the gateway
+  collapsed (each key computes exactly once no matter how many clients
+  asked);
+* the **warm pass** measures the microsecond path — the same traffic
+  again, now answered from the cache without touching the worker pool;
+  ``serve_warm_hit_p99_us`` bounds its tail latency over real TCP.
+
+Both passes must finish with zero failed requests.  Like the campaign
+throughput numbers these are wall-clock metrics, so the gate enforces
+*absolute floors* (:mod:`repro.verify.bench_record`) instead of
+drift-gating them; synthetic ``sleep:`` units keep the coalescing
+window hardware-independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from typing import Any, Dict
+
+from repro.serve.config import ServeConfig
+from repro.serve.gateway import Gateway
+from repro.serve.loadgen import DEFAULT_SEED, LoadPlan, replay
+
+__all__ = ["run_bench", "serve_bench_metrics"]
+
+
+async def _bench_async(plan: LoadPlan,
+                       cache_dir: str) -> Dict[str, Any]:
+    config = ServeConfig(cache_dir=cache_dir, pool_workers=4,
+                         queue_limit=64)
+    gateway = Gateway(config)
+    host, port = await gateway.start_server()
+    try:
+        cold = await replay(plan, host, port)
+        warm = await replay(plan, host, port)
+    finally:
+        await gateway.stop()
+    return {
+        "cold": cold.to_json(),
+        "warm": warm.to_json(),
+        "status": gateway.status(),
+    }
+
+
+def run_bench(seed: int = DEFAULT_SEED, *,
+              cache_dir: str = None) -> Dict[str, Any]:
+    """Replay the canonical seeded plan twice; returns the full report.
+
+    ``cache_dir`` defaults to a throwaway directory so the cold pass is
+    genuinely cold; point it at a persistent store to benchmark a
+    pre-warmed gateway instead.
+    """
+    plan = LoadPlan.generate(seed)
+    if cache_dir is not None:
+        return asyncio.run(_bench_async(plan, cache_dir))
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as td:
+        return asyncio.run(_bench_async(plan, td))
+
+
+def serve_bench_metrics(seed: int = DEFAULT_SEED) -> Dict[str, float]:
+    """The flat metric mapping recorded in ``BENCH_agcm.json``."""
+    report = run_bench(seed)
+    cold, warm = report["cold"], report["warm"]
+    warm_hit_p99 = warm["latency_us"]["hit"]["p99"]
+    return {
+        "serve_coalesce_rate": float(cold["coalesce_rate"]),
+        "serve_cold_requests": float(cold["requests"]),
+        "serve_cold_seconds": float(cold["wall_seconds"]),
+        "serve_warm_hit_rate": float(warm["hit_rate"]),
+        "serve_warm_hit_p99_us":
+            float(warm_hit_p99) if warm_hit_p99 is not None
+            else float("inf"),
+        "serve_warm_seconds": float(warm["wall_seconds"]),
+        "serve_throughput_rps": float(warm["throughput_rps"]),
+        "serve_failed_requests":
+            float(cold["failures"] + warm["failures"]
+                  + len(cold["sha_conflicts"])
+                  + len(warm["sha_conflicts"])),
+    }

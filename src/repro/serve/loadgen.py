@@ -1,0 +1,259 @@
+"""Deterministic bursty load generator for the gateway.
+
+Replays *seeded* many-client traffic over real TCP so the serving
+metrics in ``BENCH_agcm.json`` measure the whole request path (socket,
+HTTP parse, cache probe, coalesce/pool, JSON response).  The plan is a
+pure function of its seed: every burst fires one wave of concurrent
+clients at a single *fresh* synthetic key — the worst case for a naive
+server (identical expensive requests arriving together) and the best
+case for coalescing — plus one client per later burst re-touching the
+previous burst's key, so a cold replay also exercises the hit path.
+
+Synthetic ``sleep:`` selectors make the compute cost calibrated and
+hardware-independent (the same trick as the campaign concurrency
+probe): a coalescing window of ``unit_seconds`` exists on any machine,
+so the measured coalesce rate is a property of the gateway, not of the
+host's core count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.slo import percentile
+
+__all__ = ["LoadPlan", "LoadReport", "RequestRecord", "replay"]
+
+DEFAULT_SEED = 20260808
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One planned request: fire at ``offset`` seconds into the replay."""
+
+    offset: float
+    client: int
+    selector: str
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """A seeded, reproducible traffic schedule."""
+
+    seed: int
+    unit_seconds: float
+    requests: Tuple[LoadRequest, ...]
+
+    @property
+    def selectors(self) -> Tuple[str, ...]:
+        """Distinct selectors, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for req in self.requests:
+            seen.setdefault(req.selector, None)
+        return tuple(seen)
+
+    @classmethod
+    def generate(cls, seed: int = DEFAULT_SEED, *, clients: int = 8,
+                 bursts: int = 4, burst_spacing: float = 0.25,
+                 jitter: float = 0.03,
+                 unit_seconds: float = 0.1) -> "LoadPlan":
+        """Build the canonical bursty plan for ``seed``.
+
+        ``jitter`` must stay well below ``unit_seconds`` — that is what
+        guarantees a burst's stragglers arrive while the first request
+        of the burst is still computing, i.e. inside the coalescing
+        window.
+        """
+        if clients < 2:
+            raise ValueError(f"need at least 2 clients, got {clients}")
+        if jitter >= unit_seconds:
+            raise ValueError(
+                f"jitter {jitter} must be below unit_seconds "
+                f"{unit_seconds} or bursts stop overlapping"
+            )
+        rng = random.Random(seed)
+        requests: List[LoadRequest] = []
+        for burst in range(bursts):
+            start = burst * burst_spacing
+            focus = f"sleep:{unit_seconds}#lg{seed}-{burst}"
+            revisit_client = rng.randrange(clients) if burst else None
+            for client in range(clients):
+                if client == revisit_client:
+                    selector = f"sleep:{unit_seconds}#lg{seed}-{burst - 1}"
+                else:
+                    selector = focus
+                requests.append(LoadRequest(
+                    offset=start + rng.uniform(0.0, jitter),
+                    client=client,
+                    selector=selector,
+                ))
+        requests.sort(key=lambda r: (r.offset, r.client))
+        return cls(seed=seed, unit_seconds=unit_seconds,
+                   requests=tuple(requests))
+
+
+@dataclass
+class RequestRecord:
+    """What one replayed request observed."""
+
+    client: int
+    selector: str
+    status: int
+    served: str          # "hit" | "coalesced" | "executed" | "rejected"
+                         # | "error"
+    seconds: float
+    result_sha256: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate SLO view of one replay pass."""
+
+    plan_seed: int
+    wall_seconds: float
+    records: List[RequestRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> int:
+        """Requests that did not produce a 200 (rejections included)."""
+        return sum(1 for r in self.records if r.status != 200)
+
+    def count(self, served: str) -> int:
+        return sum(1 for r in self.records if r.served == served)
+
+    @property
+    def answered(self) -> int:
+        return sum(1 for r in self.records if r.status == 200)
+
+    @property
+    def coalesce_rate(self) -> float:
+        return self.count("coalesced") / self.answered if self.answered \
+            else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.count("hit") / self.answered if self.answered else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.total / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latency_us(self, served: str, q: float) -> float:
+        samples = [r.seconds for r in self.records if r.served == served]
+        return percentile(samples, q) * 1e6
+
+    def sha_conflicts(self) -> List[str]:
+        """Selectors whose answers were not bit-identical across
+        clients (must be empty: coalesced and hit answers alike hash
+        the same stored bytes)."""
+        by_selector: Dict[str, set] = {}
+        for record in self.records:
+            if record.result_sha256:
+                by_selector.setdefault(
+                    record.selector, set()
+                ).add(record.result_sha256)
+        return sorted(s for s, hashes in by_selector.items()
+                      if len(hashes) > 1)
+
+    def to_json(self) -> Dict[str, Any]:
+        def us(served: str, q: float) -> Optional[float]:
+            value = self.latency_us(served, q)
+            return None if value != value else round(value, 1)
+
+        return {
+            "plan_seed": self.plan_seed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "requests": self.total,
+            "failures": self.failures,
+            "served": {s: self.count(s)
+                       for s in ("hit", "coalesced", "executed",
+                                 "rejected", "error")},
+            "coalesce_rate": round(self.coalesce_rate, 4),
+            "hit_rate": round(self.hit_rate, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_us": {
+                served: {"p50": us(served, 0.5), "p99": us(served, 0.99)}
+                for served in ("hit", "coalesced", "executed")
+            },
+            "sha_conflicts": self.sha_conflicts(),
+        }
+
+
+async def _post_run(host: str, port: int,
+                    selector: str) -> Tuple[int, Dict[str, Any]]:
+    """One ``POST /run`` over a fresh connection (a new client each
+    time, like real bursty traffic)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps({"experiment": selector}).encode("utf-8")
+        writer.write(
+            b"POST /run HTTP/1.1\r\n"
+            b"Host: %b\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n"
+            b"Connection: close\r\n\r\n%b"
+            % (host.encode("latin-1"), len(body), body)
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        raw = await reader.read()
+        _, _, payload = raw.partition(b"\r\n\r\n")
+        return status, json.loads(payload) if payload else {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def _fire(host: str, port: int, start: float,
+                request: LoadRequest) -> RequestRecord:
+    delay = start + request.offset - time.perf_counter()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    t0 = time.perf_counter()
+    try:
+        status, doc = await _post_run(host, port, request.selector)
+    except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+        return RequestRecord(
+            client=request.client, selector=request.selector,
+            status=599, served="error",
+            seconds=time.perf_counter() - t0,
+            result_sha256=f"<{type(exc).__name__}>",
+        )
+    seconds = time.perf_counter() - t0
+    if status == 429:
+        served = "rejected"
+    elif status == 200 and doc.get("units"):
+        served = doc["units"][0].get("served", "error")
+    else:
+        served = "error"
+    sha = doc["units"][0].get("result_sha256") if doc.get("units") else None
+    return RequestRecord(
+        client=request.client, selector=request.selector,
+        status=status, served=served, seconds=seconds, result_sha256=sha,
+    )
+
+
+async def replay(plan: LoadPlan, host: str, port: int) -> LoadReport:
+    """Fire the plan at a running gateway; returns the pass report."""
+    start = time.perf_counter()
+    records = await asyncio.gather(
+        *(_fire(host, port, start, request) for request in plan.requests)
+    )
+    return LoadReport(
+        plan_seed=plan.seed,
+        wall_seconds=time.perf_counter() - start,
+        records=list(records),
+    )

@@ -64,6 +64,17 @@ CAMPAIGN_MIN_PARALLEL_SPEEDUP = 2.0
 CAMPAIGN_MIN_WARM_SPEEDUP = 10.0
 CAMPAIGN_MIN_WARM_HIT_RATE = 0.9
 
+#: Absolute floors on the service gateway (wall-clock, floor-gated like
+#: the campaign numbers).  The seeded bursty replay aims concurrent
+#: identical requests at fresh keys, so at least half of all answered
+#: requests must coalesce onto a shared computation; the warm replay of
+#: the same traffic must be answered from cache with a bounded tail
+#: (the bound is generous for loaded CI runners — the typical p99 over
+#: local TCP is ~2 ms) and without a single failed request.
+SERVE_MIN_COALESCE_RATE = 0.5
+SERVE_MIN_WARM_HIT_RATE = 0.9
+SERVE_MAX_WARM_HIT_P99_US = 200_000.0
+
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
                         "metrics", "tracked_ratios")
 
@@ -128,6 +139,10 @@ def collect_metrics() -> Dict[str, float]:
     from repro.campaign.bench import campaign_bench_metrics
 
     metrics.update(campaign_bench_metrics())
+
+    from repro.serve.bench import serve_bench_metrics
+
+    metrics.update(serve_bench_metrics())
     return {k: float(v) for k, v in metrics.items()}
 
 
@@ -177,6 +192,34 @@ def check_constraints(metrics: Dict[str, float]) -> List[str]:
             f"campaign_warm_hit_rate {hit_rate:.0%} is below "
             f"{CAMPAIGN_MIN_WARM_HIT_RATE:.0%} — the warm rerun "
             f"recomputed units it should have replayed from cache"
+        )
+    coalesce = metrics.get("serve_coalesce_rate")
+    if coalesce is not None and coalesce < SERVE_MIN_COALESCE_RATE:
+        problems.append(
+            f"serve_coalesce_rate {coalesce:.0%} is below "
+            f"{SERVE_MIN_COALESCE_RATE:.0%} — concurrent identical "
+            f"requests are not sharing one computation"
+        )
+    serve_hits = metrics.get("serve_warm_hit_rate")
+    if serve_hits is not None and serve_hits < SERVE_MIN_WARM_HIT_RATE:
+        problems.append(
+            f"serve_warm_hit_rate {serve_hits:.0%} is below "
+            f"{SERVE_MIN_WARM_HIT_RATE:.0%} — the warm replay "
+            f"recomputed requests the cache should have answered"
+        )
+    warm_p99 = metrics.get("serve_warm_hit_p99_us")
+    if warm_p99 is not None and warm_p99 > SERVE_MAX_WARM_HIT_P99_US:
+        problems.append(
+            f"serve_warm_hit_p99_us {warm_p99:.0f} exceeds the "
+            f"{SERVE_MAX_WARM_HIT_P99_US:.0f} us bound on the "
+            f"warm-hit tail latency"
+        )
+    failed = metrics.get("serve_failed_requests")
+    if failed is not None and failed != 0.0:
+        problems.append(
+            f"serve_failed_requests is {failed:g}; the seeded replay "
+            f"must complete with zero failed requests and "
+            f"bit-identical answers per key"
         )
     return problems
 

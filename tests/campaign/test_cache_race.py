@@ -1,0 +1,131 @@
+"""Concurrency regression tests for ``ResultCache.put``.
+
+The store's claim: writes are atomic (``mkstemp`` + ``os.replace`` in
+the target directory), so racing writers on the *same key* can never
+produce a torn read — a reader sees one writer's bytes in full, and
+the last ``os.replace`` wins wholesale.  These tests race the claim
+from both concurrency models the repo uses: separate processes (the
+campaign worker pool) and asyncio tasks sharing a loop (the service
+gateway's thread offloads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+
+#: Payloads big enough that a non-atomic write would interleave across
+#: page-sized chunks (~1.6 MB pickled each).
+_PAYLOAD_WORDS = 200_000
+KEY = "deadbeef" * 8  # 64 hex chars, like a real sha256 key
+
+
+def _payload(writer: str):
+    return {"writer": writer, "blob": [writer] * _PAYLOAD_WORDS}
+
+
+def _hammer(root: str, writer: str, rounds: int, barrier) -> None:
+    cache = ResultCache(root)
+    value = _payload(writer)
+    for _ in range(rounds):
+        barrier.wait()
+        cache.put(KEY, value, meta={"writer": writer})
+
+
+def _consistent(value, meta) -> None:
+    """A read must be exactly one writer's payload, never a mixture."""
+    assert value is not None
+    writer = value["writer"]
+    assert writer in ("a", "b")
+    assert value["blob"][0] == writer and value["blob"][-1] == writer
+    assert len(value["blob"]) == _PAYLOAD_WORDS
+    # metadata is itself readable, complete JSON from a single writer
+    if meta:
+        assert meta["writer"] in ("a", "b")
+        assert meta["key"] == KEY
+
+
+@pytest.mark.campaign
+class TestProcessRace:
+    def test_two_processes_racing_put_never_tear(self, tmp_path):
+        root = str(tmp_path)
+        rounds = 20
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(3)
+        procs = [
+            ctx.Process(target=_hammer, args=(root, w, rounds, barrier))
+            for w in ("a", "b")
+        ]
+        for p in procs:
+            p.start()
+        cache = ResultCache(root)
+        try:
+            for _ in range(rounds):
+                barrier.wait()  # release both writers simultaneously
+                # read while the writers race
+                for _ in range(10):
+                    value = cache.get(KEY)
+                    if value is not None:
+                        _consistent(value, cache.meta(KEY))
+        finally:
+            for p in procs:
+                p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        # last writer won wholesale: the stored entry is one complete
+        # payload and its pickle round-trips bit-identically
+        final = cache.get(KEY)
+        _consistent(final, cache.meta(KEY))
+        assert pickle.dumps(final, protocol=4) == pickle.dumps(
+            _payload(final["writer"]), protocol=4
+        )
+
+
+class TestAsyncioRace:
+    def test_two_tasks_racing_put_never_tear(self, tmp_path):
+        """The gateway path: concurrent tasks offloading puts to
+        threads over one loop."""
+        cache = ResultCache(str(tmp_path))
+
+        async def writer(name: str, rounds: int):
+            value = _payload(name)
+            for _ in range(rounds):
+                await asyncio.to_thread(
+                    cache.put, KEY, value, {"writer": name}
+                )
+
+        async def reader(rounds: int):
+            for _ in range(rounds):
+                value = await asyncio.to_thread(cache.get, KEY)
+                if value is not None:
+                    _consistent(value, cache.meta(KEY))
+                await asyncio.sleep(0)
+
+        async def race():
+            await asyncio.gather(
+                writer("a", 15), writer("b", 15), reader(40)
+            )
+
+        asyncio.run(race())
+        _consistent(cache.get(KEY), cache.meta(KEY))
+
+    def test_no_tmp_droppings_survive(self, tmp_path):
+        """Atomic writes clean up after themselves: no .tmp- files left
+        once the dust settles."""
+        cache = ResultCache(str(tmp_path))
+
+        async def race():
+            await asyncio.gather(*(
+                asyncio.to_thread(cache.put, KEY, _payload(w), None)
+                for w in ("a", "b", "a", "b")
+            ))
+
+        asyncio.run(race())
+        leftovers = [
+            p for p in tmp_path.rglob(".tmp-*")
+        ]
+        assert leftovers == []

@@ -126,3 +126,98 @@ class TestCLI:
         assert cli_main(["profile", "fig4_6", "--bogus"]) == 2
         assert cli_main(["profile", "nope"]) == 2
         assert cli_main(["profile"]) == 2
+
+
+class TestRunResultRenderFallbacks:
+    """The render() chain for values that are not ExperimentResults."""
+
+    def test_value_with_render_method_wins(self):
+        class Rendered:
+            def render(self):
+                return "custom table"
+
+        res = api.wrap_sim_result("x", Rendered())
+        assert res.render() == "custom table"
+
+    def test_elapsed_only_value_renders_a_summary_line(self):
+        class SimLike:
+            elapsed = 12.5
+
+        res = api.wrap_sim_result("my-sim", SimLike())
+        assert res.render() == "my-sim: elapsed 12.5 virtual s"
+
+    def test_bare_value_falls_back_to_repr(self):
+        res = api.wrap_sim_result("raw", {"answer": 42})
+        assert res.render() == "raw: {'answer': 42}"
+
+    def test_wrap_sim_result_keeps_observer(self):
+        obs = Observer()
+        res = api.wrap_sim_result("w", object(), obs)
+        assert res.observed and res.observer is obs
+        assert api.wrap_sim_result("w", object()).observed is False
+
+
+class TestArgumentResolvers:
+    """The TypeError/ValueError paths of the facade's normalisers."""
+
+    def test_resolve_observer_rejects_non_observers(self):
+        for bad in ("yes", 1, 0, object()):
+            with pytest.raises(TypeError, match="obs must be"):
+                api._resolve_observer(bad)
+
+    def test_resolve_observer_accepted_spellings(self):
+        assert api._resolve_observer(None) is None
+        assert api._resolve_observer(False) is None
+        assert isinstance(api._resolve_observer(True), Observer)
+        obs = Observer()
+        assert api._resolve_observer(obs) is obs
+
+    def test_resolve_guard_accepted_spellings(self):
+        from repro.guard import GuardConfig
+
+        assert api._resolve_guard(None) is None
+        assert api._resolve_guard(False) is None
+        assert isinstance(api._resolve_guard(True), GuardConfig)
+        from_name = api._resolve_guard("halt")
+        assert isinstance(from_name, GuardConfig)
+        assert from_name.policy == "halt"
+        cfg = GuardConfig()
+        assert api._resolve_guard(cfg) is cfg
+
+    def test_resolve_guard_rejects_other_types(self):
+        with pytest.raises(TypeError, match="guard must be"):
+            api._resolve_guard(123)
+        with pytest.raises(TypeError, match="guard must be"):
+            api._resolve_guard(["halt"])
+
+    def test_unobserved_flamegraph_and_figure1_raise(self):
+        res = api.run("fig4_6")
+        with pytest.raises(ValueError, match="not observed"):
+            res.flamegraph()
+        with pytest.raises(ValueError, match="pass obs=True"):
+            res.figure1()
+
+
+class TestRunCampaignValidation:
+    """workers=0 (and friends) must die at the facade, not inside
+    multiprocessing."""
+
+    def test_zero_workers_rejected_early(self):
+        with pytest.raises(ValueError, match="workers.*positive.*got 0"):
+            api.run_campaign(["fig4_6"], workers=0)
+
+    def test_negative_workers_rejected_early(self):
+        with pytest.raises(ValueError, match="workers.*positive.*got -2"):
+            api.run_campaign(["fig4_6"], workers=-2)
+
+    def test_non_integer_workers_rejected(self):
+        with pytest.raises(TypeError, match="workers.*positive integer"):
+            api.run_campaign(["fig4_6"], workers=2.5)
+        with pytest.raises(TypeError, match="workers.*positive integer"):
+            api.run_campaign(["fig4_6"], workers="four")
+
+    def test_scheduler_guards_direct_callers_too(self):
+        from repro.campaign.scheduler import run_campaign
+
+        with pytest.raises(ValueError, match="workers.*positive"):
+            run_campaign(["sleep:0.01#v"], workers=0)

@@ -1,0 +1,67 @@
+"""End-to-end serving SLOs over real TCP (the ``serve`` marker suite).
+
+Replays the canonical seeded bursty plan against a live gateway —
+exactly what ``python -m repro serve --bench`` and the CI serve-smoke
+job run — and asserts the gated floors directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.bench import run_bench, serve_bench_metrics
+from repro.verify.bench_record import (
+    SERVE_MAX_WARM_HIT_P99_US,
+    SERVE_MIN_COALESCE_RATE,
+    SERVE_MIN_WARM_HIT_RATE,
+    check_constraints,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestSeededReplay:
+    def test_cold_and_warm_pass_meet_the_floors(self, tmp_path):
+        report = run_bench(cache_dir=str(tmp_path))
+        cold, warm = report["cold"], report["warm"]
+
+        # zero failed requests on both passes
+        assert cold["failures"] == 0
+        assert warm["failures"] == 0
+        # answers are bit-identical per key, coalesced or hit alike
+        assert cold["sha_conflicts"] == []
+        assert warm["sha_conflicts"] == []
+
+        # cold pass: bursts of identical requests collapse — at most
+        # one execution per distinct key in the canonical 4-burst plan
+        assert cold["coalesce_rate"] >= SERVE_MIN_COALESCE_RATE
+        assert cold["served"]["executed"] <= 4
+
+        # warm pass: everything from cache, bounded tail
+        assert warm["hit_rate"] >= SERVE_MIN_WARM_HIT_RATE
+        assert warm["latency_us"]["hit"]["p99"] <= SERVE_MAX_WARM_HIT_P99_US
+        assert warm["served"]["executed"] == 0
+        assert warm["throughput_rps"] > 0
+
+    def test_bench_metrics_satisfy_the_gate(self):
+        metrics = serve_bench_metrics()
+        expected = {
+            "serve_coalesce_rate", "serve_warm_hit_rate",
+            "serve_warm_hit_p99_us", "serve_throughput_rps",
+            "serve_failed_requests", "serve_cold_seconds",
+            "serve_warm_seconds", "serve_cold_requests",
+        }
+        assert expected <= set(metrics)
+        assert check_constraints(metrics) == []
+
+    def test_gate_rejects_degraded_serving(self):
+        problems = check_constraints({
+            "serve_coalesce_rate": 0.1,
+            "serve_warm_hit_rate": 0.5,
+            "serve_warm_hit_p99_us": 10 * SERVE_MAX_WARM_HIT_P99_US,
+            "serve_failed_requests": 3.0,
+        })
+        assert len(problems) == 4
+        assert any("coalesce" in p for p in problems)
+        assert any("hit_rate" in p or "hit rate" in p.lower()
+                   for p in problems)

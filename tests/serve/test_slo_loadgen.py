@@ -1,0 +1,99 @@
+"""SLO accounting and the deterministic load plan (tier-1, no sockets)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve.loadgen import LoadPlan
+from repro.serve.slo import LatencyReservoir, ServeMetrics, percentile
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 1.0) == 100.0
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_reservoir_ring_overwrite(self):
+        reservoir = LatencyReservoir(size=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0, 200.0):
+            reservoir.record(v)
+        # 1.0 and 2.0 were overwritten; the window is {3, 4, 100, 200}
+        assert len(reservoir) == 4
+        assert reservoir.count == 6
+        assert reservoir.quantile(1.0) == 200.0
+        assert reservoir.quantile(0.5) == 4.0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            LatencyReservoir(size=0)
+
+
+class TestServeMetrics:
+    def test_snapshot_rates(self):
+        metrics = ServeMetrics()
+        for _ in range(4):
+            metrics.request()
+        metrics.unit("hit", 0.001)
+        metrics.unit("hit", 0.002)
+        metrics.unit("coalesced", 0.1)
+        metrics.unit("executed", 0.2)
+        metrics.rejected()
+        snap = metrics.snapshot()
+        assert snap["units"] == {"hit": 2, "coalesced": 1, "executed": 1}
+        assert snap["hit_rate"] == 0.5
+        assert snap["coalesce_rate"] == 0.25
+        assert snap["counters"]["rejected"] == 1
+        assert snap["latency_us"]["hit"]["p50"] == pytest.approx(1000.0)
+        # empty class renders as None, not NaN (JSON-safe)
+        metrics2 = ServeMetrics()
+        assert metrics2.snapshot()["latency_us"]["hit"]["p99"] is None
+        assert metrics2.snapshot()["hit_rate"] is None
+
+    def test_registry_namespacing(self):
+        metrics = ServeMetrics()
+        names = metrics.registry.as_dict()
+        assert all(k.startswith("serve.")
+                   for bucket in names.values() for k in bucket)
+
+
+class TestLoadPlan:
+    def test_same_seed_same_plan(self):
+        assert LoadPlan.generate(123) == LoadPlan.generate(123)
+
+    def test_different_seeds_differ(self):
+        assert LoadPlan.generate(1) != LoadPlan.generate(2)
+
+    def test_bursts_share_one_fresh_key(self):
+        plan = LoadPlan.generate(99, clients=6, bursts=3)
+        assert len(plan.requests) == 18
+        # 3 distinct keys, seed-namespaced so plans never collide
+        assert len(plan.selectors) == 3
+        assert all("lg99-" in s for s in plan.selectors)
+        # every burst is dominated by its focus key: at least
+        # clients-1 requests on one selector
+        by_selector = {}
+        for req in plan.requests:
+            by_selector[req.selector] = by_selector.get(req.selector, 0) + 1
+        assert max(by_selector.values()) >= 5
+
+    def test_offsets_are_bursty_and_sorted(self):
+        plan = LoadPlan.generate(7, clients=4, bursts=2,
+                                 burst_spacing=0.5, jitter=0.02)
+        offsets = [r.offset for r in plan.requests]
+        assert offsets == sorted(offsets)
+        assert max(o for o in offsets if o < 0.25) < 0.03
+        assert min(o for o in offsets if o > 0.25) >= 0.5
+
+    def test_guard_rails(self):
+        with pytest.raises(ValueError, match="at least 2 clients"):
+            LoadPlan.generate(1, clients=1)
+        with pytest.raises(ValueError, match="below unit_seconds"):
+            LoadPlan.generate(1, jitter=0.2, unit_seconds=0.1)
