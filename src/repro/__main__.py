@@ -21,11 +21,21 @@ Usage::
                              [--cache-dir [PATH]] [--resume] [--obs]
                              [--no-cache] [--report-out [PATH]]
                              [--json-out [PATH]] [--results]
+                             [--results-db [PATH]]
                                          # process-parallel sweep over
                                          # the registry with content-
                                          # addressed result caching
+                                         # (--results-db records each
+                                         # unit in the cross-run index)
+    python -m repro results ingest|query|runs|trajectory|prune ...
+                                         # SQLite cross-run result
+                                         # index: provenance-stamped
+                                         # ingestion, read-only SQL,
+                                         # canned reports, cache GC
+                                         # (see `results -h`)
     python -m repro serve [--host HOST] [--port PORT] [--workers N]
                           [--queue-limit N] [--cache-dir [PATH]]
+                          [--results-db [PATH]]
                                          # always-on service gateway
                                          # (cache-first, coalescing,
                                          # admission control)
@@ -230,6 +240,7 @@ def _cmd_campaign(rest: list[str]) -> int:
     use_cache = True
     report_out: str | None = None
     json_out: str | None = None
+    results_db: str | None = None
     want_report = want_json = show_results = False
     i = 0
     while i < len(rest):
@@ -277,6 +288,11 @@ def _cmd_campaign(rest: list[str]) -> int:
         elif arg == "--results":
             show_results = True
             i += 1
+        elif arg == "--results-db":
+            from repro.results import DEFAULT_DB
+
+            results_db, i = _optional_value(rest, i)
+            results_db = results_db or DEFAULT_DB
         elif arg.startswith("-"):
             print(f"campaign: unknown option {arg!r}", file=sys.stderr)
             return 2
@@ -294,7 +310,7 @@ def _cmd_campaign(rest: list[str]) -> int:
         report = api.run_campaign(
             selectors or None, sweep=sweep, workers=workers,
             cache_dir=cache_dir, resume=resume, obs=obs,
-            use_cache=use_cache,
+            use_cache=use_cache, results_db=results_db,
         )
     except (KeyError, ValueError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -313,6 +329,10 @@ def _cmd_campaign(rest: list[str]) -> int:
             json.dump(report.to_json(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"json report written to {json_out}")
+    if results_db:
+        print(f"units recorded in result index {results_db} "
+              f"(query with `python -m repro results runs "
+              f"--db {results_db}`)")
     print(f"[campaign finished in {time.time() - start:.1f}s: "
           f"{report.cache_hits} hit(s), {report.cache_misses} computed, "
           f"{report.failures} failed]")
@@ -328,6 +348,7 @@ def _cmd_serve(rest: list[str]) -> int:
     workers = 4
     queue_limit = 64
     cache_dir: str | None = None
+    results_db: str | None = None
     bench = False
     seed: int | None = None
     json_out: str | None = None
@@ -362,6 +383,11 @@ def _cmd_serve(rest: list[str]) -> int:
         elif arg == "--cache-dir":
             cache_dir, i = _optional_value(rest, i)
             cache_dir = cache_dir or ".repro-serve-cache"
+        elif arg == "--results-db":
+            from repro.results import DEFAULT_DB
+
+            results_db, i = _optional_value(rest, i)
+            results_db = results_db or DEFAULT_DB
         elif arg == "--bench":
             bench = True
             i += 1
@@ -404,7 +430,8 @@ def _cmd_serve(rest: list[str]) -> int:
 
     try:
         config = ServeConfig(host=host, port=port, pool_workers=workers,
-                             queue_limit=queue_limit, cache_dir=cache_dir)
+                             queue_limit=queue_limit, cache_dir=cache_dir,
+                             results_db=results_db)
     except (TypeError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -443,6 +470,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args[1:])
     if args[0] == "serve":
         return _cmd_serve(args[1:])
+    if args[0] == "results":
+        from repro.results.cli import main as results_main
+
+        return results_main(args[1:])
     if args[0] == "guard" and len(args) > 1:
         # Bare `guard` falls through to the registry experiment below;
         # with flags it becomes the configured demo + report writer.

@@ -170,6 +170,7 @@ def run_campaign(
     resume: bool = False,
     obs: bool = False,
     use_cache: bool = True,
+    results_db: Optional[str] = None,
 ):
     """Run a process-parallel, cache-backed campaign over the registry.
 
@@ -183,7 +184,9 @@ def run_campaign(
     recomputes only what a code or parameter change invalidated.
     Returns a :class:`repro.campaign.CampaignReport` (per-unit status,
     cache hit/miss accounting, worker utilization, speedup vs serial,
-    merged per-worker metrics when ``obs=True``).
+    merged per-worker metrics when ``obs=True``).  ``results_db``
+    additionally records every completed unit in the
+    :mod:`repro.results` cross-run index (idempotent on the unit key).
 
     Lazy import: the campaign engine pulls in ``multiprocessing`` and
     the full registry; the facade stays importable without it.
@@ -199,6 +202,7 @@ def run_campaign(
     return _run_campaign(
         experiments, sweep=sweep, workers=workers, cache_dir=cache_dir,
         resume=resume, obs=obs, use_cache=use_cache,
+        results_db=results_db,
     )
 
 

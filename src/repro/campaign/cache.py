@@ -13,7 +13,8 @@ Layout under the cache root::
       manifest.json          # last campaign plan (used by --resume)
       ab/
         ab3f...e2.pkl        # pickled unit result (atomic tmp+rename)
-        ab3f...e2.json       # sidecar: ident, point, duration, version
+        ab3f...e2.json       # sidecar: ident, point, duration, version,
+                             #          created_at, bytes, result_sha256
 
 Values are stored with :mod:`pickle` (results are numpy-laden Python
 objects); sidecars are JSON so the store can be inspected — and the
@@ -28,6 +29,7 @@ import json
 import os
 import pickle
 import tempfile
+from datetime import datetime, timezone
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = ["ResultCache", "cache_key", "canonical_params"]
@@ -110,12 +112,25 @@ class ResultCache:
             return {}
 
     def put(self, key: str, value: Any, meta: Optional[Dict] = None) -> None:
-        """Store ``value`` (and its sidecar) atomically under ``key``."""
+        """Store ``value`` (and its sidecar) atomically under ``key``.
+
+        The sidecar is stamped with provenance at put-time —
+        ``created_at`` (UTC), payload ``bytes`` and ``result_sha256``
+        (the hash of the pickled payload, same recipe as the gateway's
+        bit-identity witness) — so the result index can ingest an entry
+        without unpickling anything.
+        """
         pkl, sidecar = self._paths(key)
         os.makedirs(os.path.dirname(pkl), exist_ok=True)
-        self._atomic_write(pkl, pickle.dumps(value, protocol=4))
+        payload = pickle.dumps(value, protocol=4)
+        self._atomic_write(pkl, payload)
         doc = dict(meta or {})
         doc["key"] = key
+        doc["created_at"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        doc["bytes"] = len(payload)
+        doc["result_sha256"] = hashlib.sha256(payload).hexdigest()
         self._atomic_write(
             sidecar,
             json.dumps(doc, sort_keys=True, indent=1).encode("utf-8"),

@@ -76,11 +76,14 @@ def _run_one(unit: CampaignUnit, worker: int,
         error = f"{type(exc).__name__}: {exc}"
     seconds = time.perf_counter() - t0
     if cache is not None and error is None:
+        from repro.campaign.cache import canonical_params
+
         cache.put(
             unit.key, value,
             meta={
                 "ident": unit.ident,
                 "point": unit.point.label,
+                "params": canonical_params(unit.point.as_dict()),
                 "duration": seconds,
                 "version": __version__,
                 "worker": worker,
@@ -137,6 +140,7 @@ def run_campaign(
     resume: bool = False,
     obs: bool = False,
     use_cache: bool = True,
+    results_db: Optional[str] = None,
 ) -> CampaignReport:
     """Run a campaign and return its merged :class:`CampaignReport`.
 
@@ -149,7 +153,10 @@ def run_campaign(
     and the resume manifest; ``resume=True`` re-plans the last
     interrupted campaign recorded there.  ``obs=True`` runs every unit
     under a per-worker :class:`repro.obs.Observer` and merges all
-    worker metrics into ``report.metrics``.
+    worker metrics into ``report.metrics``.  ``results_db`` names a
+    :mod:`repro.results` index file: every completed unit is recorded
+    there as it arrives (ran/failed rows, hit-counter bumps), keyed on
+    the sha256 unit key so replays never duplicate rows.
     """
     if selectors is not None and sweep is not None:
         raise ValueError("pass either selectors or sweep=, not both")
@@ -223,6 +230,14 @@ def run_campaign(
     wall = time.perf_counter() - t0
     order = {u.key: i for i, u in enumerate(units)}
     outcomes.sort(key=lambda o: order.get(o.key, len(order)))
+    if results_db is not None:
+        # Parent-side recording keeps sqlite single-writer; a unit is
+        # already safe in the cache by the time its outcome arrives, so
+        # a crash here loses only index rows that `results ingest`
+        # recovers idempotently from the sidecars.
+        from repro.results.hooks import record_campaign_outcomes
+
+        record_campaign_outcomes(results_db, outcomes, cache)
     report = CampaignReport(
         sweep=sweep_name or "<custom>",
         workers=max(1, workers),

@@ -1,0 +1,235 @@
+"""``python -m repro results`` — the index's command-line front end.
+
+Subcommands::
+
+    results ingest  --cache-dir P ... --bench F ... --serve-slo F ...
+    results query   "SELECT ..." [--param V ...]
+    results runs    [--ident X] [--source S]
+    results trajectory [--metric NAME ...]
+    results prune   --cache-dir P [--older-than DAYS] [--dry-run]
+
+All reads are forced read-only (``query`` cannot mutate the index no
+matter what SQL it is handed); every report renders as a monospace
+table by default or as JSON with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sqlite3
+import sys
+from typing import List, Optional
+
+from repro.results.db import DEFAULT_DB, ResultsDB
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro results",
+        description="Query and maintain the cross-run result index.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser(
+        "ingest", help="index campaign caches, bench trajectories, "
+        "serve SLO dumps")
+    ingest.add_argument("--db", default=DEFAULT_DB,
+                        help="index file (default: %(default)s)")
+    ingest.add_argument("--cache-dir", action="append", default=[],
+                        metavar="DIR",
+                        help="campaign/serve --cache-dir to walk "
+                        "(repeatable)")
+    ingest.add_argument("--bench", action="append", default=[],
+                        metavar="FILE",
+                        help="BENCH_agcm.json trajectory (repeatable)")
+    ingest.add_argument("--serve-slo", action="append", default=[],
+                        metavar="FILE",
+                        help="serve SLO summary from "
+                        "`serve --bench --json-out` (repeatable)")
+    ingest.add_argument("--git-sha", default=None,
+                        help="provenance stamp override (default: "
+                        "$REPRO_GIT_SHA, then `git rev-parse HEAD`)")
+    ingest.add_argument("--json", action="store_true",
+                        help="machine-readable ingest stats")
+
+    query = sub.add_parser(
+        "query", help="run read-only SQL against the index")
+    query.add_argument("sql", help="one SELECT statement; bind values "
+                       "with ? placeholders")
+    query.add_argument("--db", default=DEFAULT_DB)
+    query.add_argument("--param", action="append", default=[],
+                       metavar="VALUE",
+                       help="positional ? binding (repeatable, in order)")
+    query.add_argument("--json", action="store_true",
+                       help="rows as a JSON list of objects")
+
+    runs = sub.add_parser(
+        "runs", help="per-unit rows + per-experiment best/worst rollup")
+    runs.add_argument("--db", default=DEFAULT_DB)
+    runs.add_argument("--ident", default=None,
+                      help="restrict to one experiment ident")
+    runs.add_argument("--source", default=None,
+                      choices=("campaign", "serve", "bench", "api"))
+    runs.add_argument("--json", action="store_true")
+
+    traj = sub.add_parser(
+        "trajectory", help="benchmark metrics across recorded entries")
+    traj.add_argument("--db", default=DEFAULT_DB)
+    traj.add_argument("--metric", action="append", default=[],
+                      metavar="NAME",
+                      help="metric column (repeatable; default: the "
+                      "gated tracked ratios)")
+    traj.add_argument("--json", action="store_true")
+
+    prune = sub.add_parser(
+        "prune", help="GC cache entries unreferenced by manifest/index")
+    prune.add_argument("--cache-dir", required=True, metavar="DIR")
+    prune.add_argument("--db", default=None,
+                       help="also keep entries referenced by this index")
+    prune.add_argument("--older-than", type=float, default=30.0,
+                       metavar="DAYS",
+                       help="only remove entries older than DAYS "
+                       "(default: %(default)s)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="list what would be removed; delete nothing")
+    prune.add_argument("--json", action="store_true")
+    return parser
+
+
+def _require_db(path: str) -> Optional[str]:
+    if not os.path.exists(path):
+        print(
+            f"results: no index at {path!r}; create one with "
+            f"`python -m repro results ingest --db {path} ...` or a "
+            f"campaign/serve run with --results-db",
+            file=sys.stderr,
+        )
+        return None
+    return path
+
+
+def _cmd_ingest(args) -> int:
+    if not (args.cache_dir or args.bench or args.serve_slo):
+        print("results ingest: nothing to ingest; pass --cache-dir, "
+              "--bench and/or --serve-slo", file=sys.stderr)
+        return 2
+    from repro.results.ingest import Ingestor
+
+    all_stats = []
+    with ResultsDB(args.db) as db:
+        ingestor = Ingestor(db, git_sha=args.git_sha)
+        for root in args.cache_dir:
+            all_stats.append(ingestor.ingest_cache_dir(root))
+        for path in args.bench:
+            all_stats.append(ingestor.ingest_bench_file(path))
+        for path in args.serve_slo:
+            all_stats.append(ingestor.ingest_serve_slo(path))
+        total = len(db)
+    if args.json:
+        print(json.dumps({
+            "db": args.db,
+            "runs_indexed": total,
+            "sources": [s.to_json() for s in all_stats],
+        }, indent=1, sort_keys=True))
+    else:
+        for stats in all_stats:
+            print(stats)
+        print(f"index {args.db}: {total} run(s) total")
+    return 1 if any(s.errors for s in all_stats) else 0
+
+
+def _cmd_query(args) -> int:
+    if _require_db(args.db) is None:
+        return 2
+    from repro.results.queries import run_query
+
+    try:
+        columns, rows = run_query(args.db, args.sql, args.param)
+    except sqlite3.Error as exc:
+        print(f"results query: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            [dict(zip(columns, row)) for row in rows],
+            indent=1, sort_keys=True, default=str,
+        ))
+        return 0
+    if not columns:
+        print(f"{len(rows)} row(s)")
+        return 0
+    from repro.util.tables import Table
+
+    t = Table(f"{len(rows)} row(s)", columns)
+    for row in rows:
+        t.add_row(*("" if v is None else v for v in row))
+    print(t.render())
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    if _require_db(args.db) is None:
+        return 2
+    from repro.results.queries import runs_report
+
+    tables, doc = runs_report(args.db, ident=args.ident,
+                              source=args.source)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True, default=str))
+    else:
+        print("\n\n".join(t.render() for t in tables))
+    return 0
+
+
+def _cmd_trajectory(args) -> int:
+    if _require_db(args.db) is None:
+        return 2
+    from repro.results.queries import trajectory_report
+
+    try:
+        table, doc = trajectory_report(args.db, args.metric)
+    except ValueError as exc:
+        print(f"results trajectory: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(table.render())
+    return 0
+
+
+def _cmd_prune(args) -> int:
+    from repro.results.prune import prune_cache
+
+    try:
+        report = prune_cache(
+            args.cache_dir, older_than_days=args.older_than,
+            db_path=args.db, dry_run=args.dry_run,
+        )
+    except ValueError as exc:
+        print(f"results prune: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.errors else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors
+        return int(exc.code or 0)
+    handler = {
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
+        "runs": _cmd_runs,
+        "trajectory": _cmd_trajectory,
+        "prune": _cmd_prune,
+    }[args.command]
+    return handler(args)

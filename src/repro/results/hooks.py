@@ -1,0 +1,144 @@
+"""Opt-in recording hooks: live runs land in the index as they finish.
+
+The campaign scheduler and the service gateway both already persist
+completed units to the content-addressed cache; with a ``results_db``
+path configured they additionally record each completed unit here — the
+campaign parent as outcomes arrive (a single sqlite writer, right after
+the worker's cache write), the gateway's pool thread at cache-write
+time.  Recording is best-effort bookkeeping on top of the cache's
+crash-safety story: if the process dies between cache write and index
+write, ``results ingest --cache-dir`` recovers the row idempotently
+from the sidecar.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.results.db import ResultsDB
+from repro.results.provenance import current_git_sha
+
+__all__ = [
+    "record_campaign_outcomes",
+    "record_unit_execution",
+    "record_unit_hit",
+]
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _sidecar(cache, key: str) -> Dict[str, Any]:
+    if cache is None:
+        return {}
+    return cache.meta(key)
+
+
+def _artifact_rows(cache, key: str, meta: Dict[str, Any]
+                   ) -> List[Tuple[str, Optional[str], Optional[int]]]:
+    if cache is None or not meta:
+        return []
+    pkl_path, _ = cache._paths(key)
+    nbytes = meta.get("bytes")
+    return [(pkl_path, meta.get("result_sha256"),
+             int(nbytes) if nbytes is not None else None)]
+
+
+def _split_label(ident: str, label: str) -> str:
+    """The point part of an ``ident@point`` unit label."""
+    prefix = ident + "@"
+    return label[len(prefix):] if label.startswith(prefix) else label
+
+
+def record_campaign_outcomes(db_path: str, outcomes: Iterable,
+                             cache=None,
+                             git_sha: Optional[str] = None) -> None:
+    """Record a campaign's per-unit outcomes into the index.
+
+    ``ran`` inserts a row (and upgrades an earlier ``failed`` row for
+    the same key), ``failed`` inserts a failed row, ``hit`` bumps the
+    hit counter — inserting the row first from the cache sidecar when
+    the cache predates the index.  All inserts are idempotent on the
+    unit's sha256 key.
+    """
+    sha = current_git_sha() if git_sha is None else (git_sha or None)
+    with ResultsDB(db_path) as db:
+        for o in outcomes:
+            point = _split_label(o.ident, o.label)
+            meta = _sidecar(cache, o.key)
+            params = meta.get("params", {"point": point})
+            if o.status == "hit":
+                if not db.record_hit(o.key):
+                    db.record_run(
+                        run_key=o.key, source="campaign", ident=o.ident,
+                        point=point, params=params, cache_key=o.key,
+                        status="ran", git_sha=sha,
+                        created_at=meta.get("created_at") or _utcnow(),
+                        metrics={"duration_seconds":
+                                 (o.compute_seconds, "s")},
+                        artifacts=_artifact_rows(cache, o.key, meta),
+                    )
+                    db.record_hit(o.key)
+            elif o.status == "failed":
+                db.record_run(
+                    run_key=o.key, source="campaign", ident=o.ident,
+                    point=point, params=params, cache_key=o.key,
+                    status="failed", git_sha=sha, created_at=_utcnow(),
+                    metrics={"duration_seconds": (o.seconds, "s")},
+                )
+            else:
+                db.record_run(
+                    run_key=o.key, source="campaign", ident=o.ident,
+                    point=point, params=params, cache_key=o.key,
+                    status="ran", git_sha=sha,
+                    created_at=meta.get("created_at") or _utcnow(),
+                    metrics={"duration_seconds": (o.compute_seconds, "s")},
+                    artifacts=_artifact_rows(cache, o.key, meta),
+                )
+                db.mark_ran(o.key)
+
+
+def record_unit_execution(db_path: str, unit, seconds: float,
+                          cache=None,
+                          git_sha: Optional[str] = None) -> None:
+    """Gateway hook: one freshly-executed unit, at cache-write time.
+
+    Runs on a pool thread; opens a short-lived connection so threads
+    never share a sqlite handle.
+    """
+    meta = _sidecar(cache, unit.key)
+    with ResultsDB(db_path) as db:
+        db.record_run(
+            run_key=unit.key, source="serve", ident=unit.ident,
+            point=unit.point.label,
+            params=meta.get("params", {"point": unit.point.label}),
+            cache_key=unit.key, status="ran", git_sha=git_sha,
+            created_at=meta.get("created_at") or _utcnow(),
+            metrics={"duration_seconds": (seconds, "s")},
+            artifacts=_artifact_rows(cache, unit.key, meta),
+        )
+        db.mark_ran(unit.key)
+
+
+def record_unit_hit(db_path: str, unit, cache=None,
+                    git_sha: Optional[str] = None) -> None:
+    """Gateway hook: a cache hit observed for ``unit``."""
+    with ResultsDB(db_path) as db:
+        if db.record_hit(unit.key):
+            return
+        meta = _sidecar(cache, unit.key)
+        db.record_run(
+            run_key=unit.key,
+            source="serve" if meta.get("worker") == "serve" else "campaign",
+            ident=unit.ident, point=unit.point.label,
+            params=meta.get("params", {"point": unit.point.label}),
+            cache_key=unit.key, status="ran", git_sha=git_sha,
+            created_at=meta.get("created_at") or _utcnow(),
+            metrics={"duration_seconds":
+                     (float(meta["duration"]), "s")}
+            if "duration" in meta else {},
+            artifacts=_artifact_rows(cache, unit.key, meta),
+        )
+        db.record_hit(unit.key)

@@ -1,0 +1,272 @@
+"""Idempotent ingestion: artifacts on disk become queryable index rows.
+
+Three sources, one discipline — every ingested run is keyed on a
+content hash (the sha256 unit cache key for campaign/serve payloads, a
+sha256 of the entry document for bench/SLO records), so re-ingesting
+the same source is a no-op:
+
+* a campaign ``--cache-dir`` — pickle payloads with JSON sidecars; the
+  sidecar alone carries everything a provenance row needs (ident,
+  point, params, duration, payload bytes and sha256), so ingestion
+  never unpickles a payload;
+* ``BENCH_agcm.json`` — each trajectory entry becomes one ``bench``
+  run whose metrics are the entry's metric mapping, losslessly enough
+  that :func:`repro.results.queries.trajectory_from_db` can rebuild
+  the trajectory for ``tools/bench_gate.py``;
+* a serve SLO dump (``python -m repro serve --bench --json-out``) —
+  one ``serve`` run with the gated SLO metrics flattened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.results.db import ResultsDB
+from repro.results.provenance import current_git_sha
+
+__all__ = ["IngestStats", "Ingestor", "bench_entry_key"]
+
+#: Registry ident under which benchmark-trajectory entries are indexed.
+BENCH_IDENT = "bench:agcm"
+#: Ident of ingested serve SLO summaries.
+SLO_IDENT = "serve:slo"
+
+
+@dataclass
+class IngestStats:
+    """What one ingest pass did to the index."""
+
+    source: str
+    path: str
+    scanned: int = 0
+    #: Rows newly inserted this pass.
+    added: int = 0
+    #: Records already indexed (the idempotency guarantee at work).
+    skipped: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        msg = (f"{self.source} {self.path}: scanned {self.scanned}, "
+               f"added {self.added}, already indexed {self.skipped}")
+        if self.errors:
+            msg += f", {len(self.errors)} error(s)"
+        return msg
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "source": self.source, "path": self.path,
+            "scanned": self.scanned, "added": self.added,
+            "skipped": self.skipped, "errors": list(self.errors),
+        }
+
+
+def _doc_sha256(doc: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                   default=str).encode("utf-8")
+    ).hexdigest()
+
+
+def bench_entry_key(entry: Dict[str, Any]) -> str:
+    """The idempotency key of one trajectory entry (``bench:<sha256>``)."""
+    return "bench:" + _doc_sha256(entry)
+
+
+def _file_sha256(path: str) -> Optional[str]:
+    try:
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                h.update(chunk)
+        return h.hexdigest()
+    except OSError:
+        return None
+
+
+def _mtime_iso(path: str) -> Optional[str]:
+    from datetime import datetime, timezone
+
+    try:
+        ts = os.path.getmtime(path)
+    except OSError:
+        return None
+    return datetime.fromtimestamp(ts, timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+class Ingestor:
+    """Walks artifact sources into one :class:`ResultsDB`.
+
+    ``git_sha`` defaults to auto-resolution (env var, then ``git
+    rev-parse``); pass an explicit string to pin it, or ``""`` to stamp
+    nothing.
+    """
+
+    def __init__(self, db: ResultsDB, *,
+                 git_sha: Optional[str] = None) -> None:
+        self.db = db
+        self.git_sha = (current_git_sha() if git_sha is None
+                        else (git_sha or None))
+
+    # -- campaign / serve cache dirs ------------------------------------
+    def ingest_cache_dir(self, root: str) -> IngestStats:
+        """Index every complete entry of a content-addressed cache.
+
+        The unit's sha256 cache key is the run key, so entries written
+        by campaigns and by the gateway against the same cache land as
+        the same rows no matter who ingests first.
+        """
+        from repro.campaign.cache import ResultCache
+
+        stats = IngestStats(source="cache", path=str(root))
+        if not os.path.isdir(root):
+            stats.errors.append(f"not a directory: {root}")
+            return stats
+        cache = ResultCache(str(root))
+        for key in cache.keys():
+            stats.scanned += 1
+            meta = cache.meta(key)
+            pkl_path, _ = cache._paths(key)
+            if not meta:
+                stats.errors.append(f"{key[:12]}: unreadable sidecar")
+                continue
+            try:
+                nbytes = meta.get("bytes")
+                if nbytes is None:
+                    nbytes = os.path.getsize(pkl_path)
+                sha = meta.get("result_sha256") or _file_sha256(pkl_path)
+                worker = meta.get("worker")
+                added = self.db.record_run(
+                    run_key=key,
+                    source="serve" if worker == "serve" else "campaign",
+                    ident=str(meta.get("ident", "?")),
+                    point=str(meta.get("point", "")),
+                    params=meta.get("params",
+                                    {"point": meta.get("point", ""),
+                                     "version": meta.get("version")}),
+                    cache_key=key,
+                    status="ran",
+                    git_sha=self.git_sha,
+                    created_at=(meta.get("created_at")
+                                or _mtime_iso(pkl_path)),
+                    metrics={
+                        "duration_seconds":
+                            (float(meta["duration"]), "s"),
+                    } if "duration" in meta else {},
+                    artifacts=[(pkl_path, sha, int(nbytes))],
+                )
+            except (OSError, TypeError, ValueError) as exc:
+                stats.errors.append(f"{key[:12]}: {exc}")
+                continue
+            if added:
+                stats.added += 1
+            else:
+                stats.skipped += 1
+        return stats
+
+    # -- benchmark trajectory -------------------------------------------
+    def ingest_bench_file(self, path: str) -> IngestStats:
+        """Index every entry of a ``BENCH_agcm.json`` trajectory."""
+        from repro.verify import bench_record
+
+        stats = IngestStats(source="bench", path=str(path))
+        try:
+            traj = bench_record.load_trajectory(str(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            stats.errors.append(str(exc))
+            return stats
+        for entry in traj.get("entries", []):
+            stats.scanned += 1
+            if self.ingest_bench_entry(entry, path=str(path)):
+                stats.added += 1
+            else:
+                stats.skipped += 1
+        return stats
+
+    def ingest_bench_entry(self, entry: Dict[str, Any], *,
+                           path: str = "") -> bool:
+        """Index one trajectory entry; True if it was new.
+
+        Everything :func:`~repro.results.queries.trajectory_from_db`
+        needs to rebuild the entry verbatim goes into ``params_json``
+        (label, machine, config, tracked ratio names, schema version);
+        the metric mapping lands as metric rows.
+        """
+        return self.db.record_run(
+            run_key=bench_entry_key(entry),
+            source="bench",
+            ident=BENCH_IDENT,
+            point=str(entry.get("label", "")),
+            params={
+                "schema_version": entry.get("schema_version"),
+                "label": entry.get("label", ""),
+                "machine": entry.get("machine", ""),
+                "config": entry.get("config", {}),
+                "tracked_ratios": entry.get("tracked_ratios", []),
+                "file": path,
+            },
+            status="recorded",
+            git_sha=self.git_sha,
+            created_at=entry.get("timestamp"),
+            metrics={name: float(value)
+                     for name, value in entry.get("metrics", {}).items()},
+        )
+
+    # -- serve SLO dumps -------------------------------------------------
+    def ingest_serve_slo(self, path: str) -> IngestStats:
+        """Index one serve SLO summary (cold + warm replay report)."""
+        stats = IngestStats(source="serve-slo", path=str(path))
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            stats.errors.append(str(exc))
+            return stats
+        if not isinstance(doc, dict) or "cold" not in doc or "warm" not in doc:
+            stats.errors.append(
+                f"{path}: not a serve SLO summary (expected a dict with "
+                f"'cold' and 'warm' passes from "
+                f"`python -m repro serve --bench --json-out`)"
+            )
+            return stats
+        stats.scanned = 1
+        cold, warm = doc["cold"], doc["warm"]
+        metrics: Dict[str, Any] = {}
+        try:
+            metrics["serve_coalesce_rate"] = float(cold["coalesce_rate"])
+            metrics["serve_cold_requests"] = float(cold["requests"])
+            metrics["serve_cold_seconds"] = (
+                float(cold["wall_seconds"]), "s")
+            metrics["serve_warm_hit_rate"] = float(warm["hit_rate"])
+            metrics["serve_warm_seconds"] = (
+                float(warm["wall_seconds"]), "s")
+            metrics["serve_throughput_rps"] = float(warm["throughput_rps"])
+            metrics["serve_failed_requests"] = float(
+                cold["failures"] + warm["failures"])
+            p99 = warm.get("latency_us", {}).get("hit", {}).get("p99")
+            if p99 is not None:
+                metrics["serve_warm_hit_p99_us"] = (float(p99), "us")
+        except (KeyError, TypeError, ValueError) as exc:
+            stats.errors.append(f"{path}: malformed SLO pass: {exc!r}")
+            return stats
+        added = self.db.record_run(
+            run_key="slo:" + _doc_sha256(doc),
+            source="serve",
+            ident=SLO_IDENT,
+            point=os.path.basename(str(path)),
+            params={"file": str(path)},
+            status="recorded",
+            git_sha=self.git_sha,
+            created_at=_mtime_iso(str(path)),
+            metrics=metrics,
+        )
+        if added:
+            stats.added += 1
+        else:
+            stats.skipped += 1
+        return stats

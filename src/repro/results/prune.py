@@ -1,0 +1,163 @@
+"""Cache garbage collection driven by the manifest and the index.
+
+A long-lived campaign cache accumulates entries whose keys nothing
+references any more — a version bump or parameter change re-keys every
+unit, and the old payloads just sit there.  ``prune`` deletes entries
+that are (a) absent from the cache's own resume manifest, (b) absent
+from the result index's ``cache_key`` column when an index is given
+(an indexed payload is an artifact row someone may still query), and
+(c) older than ``--older-than`` days, judged by the sidecar's
+``created_at`` stamp (payload mtime as the fallback for pre-provenance
+sidecars).  ``--dry-run`` lists exactly what would go, and frees
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import List, Optional
+
+from repro.util.tables import Table
+
+__all__ = ["PruneReport", "prune_cache"]
+
+
+@dataclass
+class PruneCandidate:
+    key: str
+    ident: str
+    created_at: str
+    bytes: int
+
+
+@dataclass
+class PruneReport:
+    """What a prune pass (would have) removed."""
+
+    cache_dir: str
+    dry_run: bool
+    older_than_days: float
+    kept: int = 0
+    removed: List[PruneCandidate] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(c.bytes for c in self.removed)
+
+    def render(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        t = Table(
+            f"Prune {self.cache_dir}: {verb} {len(self.removed)} "
+            f"entr{'y' if len(self.removed) == 1 else 'ies'} "
+            f"({self.removed_bytes} bytes), kept {self.kept}",
+            ["key", "ident", "created", "bytes"],
+        )
+        for c in self.removed:
+            t.add_row(c.key[:16], c.ident, c.created_at or "-", c.bytes)
+        lines = [t.render()]
+        for err in self.errors:
+            lines.append(f"error: {err}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "cache_dir": self.cache_dir,
+            "dry_run": self.dry_run,
+            "older_than_days": self.older_than_days,
+            "kept": self.kept,
+            "removed": [
+                {"key": c.key, "ident": c.ident,
+                 "created_at": c.created_at, "bytes": c.bytes}
+                for c in self.removed
+            ],
+            "removed_bytes": self.removed_bytes,
+            "errors": list(self.errors),
+        }
+
+
+def _entry_age(meta: dict, pkl_path: str) -> Optional[datetime]:
+    stamp = meta.get("created_at")
+    if stamp:
+        try:
+            created = datetime.fromisoformat(stamp)
+            if created.tzinfo is None:
+                created = created.replace(tzinfo=timezone.utc)
+            return created
+        except ValueError:
+            pass
+    try:
+        return datetime.fromtimestamp(
+            os.path.getmtime(pkl_path), timezone.utc
+        )
+    except OSError:
+        return None
+
+
+def prune_cache(cache_dir: str, *, older_than_days: float,
+                db_path: Optional[str] = None,
+                dry_run: bool = False) -> PruneReport:
+    """Remove unreferenced, stale cache entries; returns the report.
+
+    An entry survives if its key appears in the cache manifest, or in
+    the index at ``db_path``, or if it is younger than the cutoff.
+    Removal deletes the payload first and the sidecar second — an
+    interrupted prune can leave an orphan sidecar (harmless: the cache
+    reads it as a miss) but never a payload the index can't explain.
+    """
+    from repro.campaign.cache import ResultCache
+
+    if older_than_days < 0:
+        raise ValueError(
+            f"older_than_days must be >= 0, got {older_than_days}"
+        )
+    report = PruneReport(cache_dir=str(cache_dir), dry_run=dry_run,
+                         older_than_days=older_than_days)
+    if not os.path.isdir(cache_dir):
+        report.errors.append(f"not a directory: {cache_dir}")
+        return report
+    cache = ResultCache(str(cache_dir))
+
+    referenced = set()
+    manifest = cache.read_manifest()
+    if manifest:
+        referenced.update(
+            u.get("key") for u in manifest.get("units", ())
+        )
+    if db_path and os.path.exists(db_path):
+        from repro.results.db import ResultsDB
+
+        with ResultsDB(db_path) as db:
+            referenced.update(db.cache_keys())
+
+    cutoff = datetime.now(timezone.utc) - timedelta(days=older_than_days)
+    for key in list(cache.keys()):
+        pkl_path, sidecar_path = cache._paths(key)
+        if key in referenced:
+            report.kept += 1
+            continue
+        meta = cache.meta(key)
+        created = _entry_age(meta, pkl_path)
+        if created is not None and created > cutoff:
+            report.kept += 1
+            continue
+        try:
+            nbytes = int(meta.get("bytes") or os.path.getsize(pkl_path))
+        except OSError:
+            nbytes = 0
+        candidate = PruneCandidate(
+            key=key, ident=str(meta.get("ident", "?")),
+            created_at=str(meta.get("created_at", "")), bytes=nbytes,
+        )
+        if not dry_run:
+            try:
+                os.unlink(pkl_path)
+                if os.path.exists(sidecar_path):
+                    os.unlink(sidecar_path)
+            except OSError as exc:
+                report.errors.append(f"{key[:12]}: {exc}")
+                continue
+        report.removed.append(candidate)
+    return report

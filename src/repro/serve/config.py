@@ -40,6 +40,10 @@ class ServeConfig:
     #: ``None`` serves without a persistent cache (coalescing still
     #: works, warm hits do not survive a restart).
     cache_dir: Optional[str] = None
+    #: Cross-run result index (:mod:`repro.results`): when set, every
+    #: executed unit is recorded at cache-write time and every cache
+    #: hit bumps the run's hit counter.  ``None`` records nothing.
+    results_db: Optional[str] = None
     #: Seconds a 429 response tells the client to back off.
     retry_after_seconds: float = 1.0
     #: Per-class latency samples kept for the p50/p99 estimates.

@@ -117,8 +117,16 @@ class Gateway:
         self.metrics = ServeMetrics(
             registry, reservoir_size=self.config.reservoir_size
         )
+        self._git_sha: Optional[str] = None
+        if self.config.results_db is not None:
+            # Resolve provenance once (it shells out to git); the pool
+            # and the hit path stamp every recorded row with it.
+            from repro.results.provenance import current_git_sha
+
+            self._git_sha = current_git_sha()
         self.pool = WorkerPool(
-            self.config.pool_workers, cache=self.cache, runner=runner
+            self.config.pool_workers, cache=self.cache, runner=runner,
+            results_db=self.config.results_db, git_sha=self._git_sha,
         )
         self.observer: Optional[Observer] = (
             Observer() if self.config.spans else None
@@ -197,6 +205,11 @@ class Gateway:
             if value is not None:
                 seconds = time.perf_counter() - t0
                 self.metrics.unit("hit", seconds)
+                if self.config.results_db is not None:
+                    from repro.results.hooks import record_unit_hit
+
+                    record_unit_hit(self.config.results_db, unit,
+                                    self.cache, git_sha=self._git_sha)
                 return self._entry(unit, "hit", seconds, value), value
 
         shared = self._inflight.get(unit.key)

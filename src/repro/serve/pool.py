@@ -39,12 +39,15 @@ class WorkerPool:
     """
 
     def __init__(self, workers: int, cache: Optional[ResultCache] = None,
-                 runner: Optional[Callable[[CampaignUnit], Any]] = None
-                 ) -> None:
+                 runner: Optional[Callable[[CampaignUnit], Any]] = None,
+                 results_db: Optional[str] = None,
+                 git_sha: Optional[str] = None) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self.cache = cache
+        self.results_db = results_db
+        self.git_sha = git_sha
         self.runner = runner if runner is not None else execute_unit
         self._queue: "asyncio.PriorityQueue[Tuple[float, int, Any]]" = (
             asyncio.PriorityQueue()
@@ -104,20 +107,32 @@ class WorkerPool:
     # -- internals ------------------------------------------------------
     def _execute(self, unit: CampaignUnit) -> Any:
         """Run one unit in a pool thread and persist it like a campaign
-        worker would: cache first, report after."""
+        worker would: cache first, report after (and, when a result
+        index is configured, record the run right after the cache
+        write — the index row and the cache entry describe the same
+        payload)."""
+        from repro.campaign.cache import canonical_params
+
         t0 = time.perf_counter()
         value = self.runner(unit)
+        seconds = time.perf_counter() - t0
         if self.cache is not None:
             self.cache.put(
                 unit.key, value,
                 meta={
                     "ident": unit.ident,
                     "point": unit.point.label,
-                    "duration": time.perf_counter() - t0,
+                    "params": canonical_params(unit.point.as_dict()),
+                    "duration": seconds,
                     "version": __version__,
                     "worker": "serve",
                 },
             )
+        if self.results_db is not None:
+            from repro.results.hooks import record_unit_execution
+
+            record_unit_execution(self.results_db, unit, seconds,
+                                  self.cache, git_sha=self.git_sha)
         return value
 
     async def _worker(self) -> None:

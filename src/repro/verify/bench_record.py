@@ -287,13 +287,34 @@ def empty_trajectory() -> Dict:
 
 
 def load_trajectory(path: str) -> Dict:
-    """Load a trajectory file; a missing or empty file is an empty one."""
+    """Load and validate a trajectory file; missing/empty loads as empty.
+
+    Every entry is schema-checked here, at the boundary, so a corrupted
+    or hand-edited file fails with an actionable message naming the
+    entry and the problem — instead of a bare ``KeyError`` deep inside
+    the gate's baseline comparison.
+    """
     if not os.path.exists(path) or os.path.getsize(path) == 0:
         return empty_trajectory()
     with open(path) as fh:
         traj = json.load(fh)
     if not isinstance(traj, dict) or "entries" not in traj:
         raise ValueError(f"{path}: not a benchmark trajectory file")
+    problems = []
+    for i, entry in enumerate(traj["entries"]):
+        label = f"entry #{i}"
+        if isinstance(entry, dict) and entry.get("timestamp"):
+            label += f" ({entry['timestamp']})"
+        problems.extend(f"{label}: {p}" for p in validate_entry(entry))
+    if problems:
+        detail = "; ".join(problems[:5])
+        if len(problems) > 5:
+            detail += f"; ... ({len(problems) - 5} more)"
+        raise ValueError(
+            f"{path}: invalid benchmark trajectory — {detail}. "
+            f"Fix the file by hand or regenerate it with "
+            f"`python tools/bench_gate.py`."
+        )
     return traj
 
 

@@ -104,3 +104,42 @@ class TestResultCache:
         assert cache.read_manifest() is None
         cache.write_manifest({"selectors": ["fig1"], "workers": 2})
         assert cache.read_manifest()["selectors"] == ["fig1"]
+
+
+class TestSidecarProvenance:
+    """put() stamps created_at / bytes / result_sha256 at write time so
+    the result index can ingest an entry without unpickling it."""
+
+    def test_put_stamps_provenance(self, tmp_path):
+        import hashlib
+        import pickle
+        from datetime import datetime
+
+        cache = ResultCache(str(tmp_path))
+        key = cache_key("x", {"n": 1}, "v")
+        value = {"n": 7}
+        cache.put(key, value, meta={"duration": 0.5})
+        meta = cache.meta(key)
+        assert meta["duration"] == 0.5  # caller meta survives
+        payload = pickle.dumps(value, protocol=4)
+        assert meta["bytes"] == len(payload)
+        # Same recipe as the gateway's bit-identity witness.
+        assert meta["result_sha256"] \
+            == hashlib.sha256(payload).hexdigest()
+        stamped = datetime.fromisoformat(meta["created_at"])
+        assert stamped.tzinfo is not None  # explicit UTC, not naive
+
+    def test_bytes_match_payload_on_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key("x", {"n": 2}, "v")
+        cache.put(key, list(range(100)))
+        pkl = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        assert cache.meta(key)["bytes"] == os.path.getsize(pkl)
+
+    def test_caller_meta_cannot_be_clobbered_silently(self, tmp_path):
+        """Provenance stamping overwrites colliding caller keys — the
+        stamp wins, documented here so a change is deliberate."""
+        cache = ResultCache(str(tmp_path))
+        key = cache_key("x", {"n": 3}, "v")
+        cache.put(key, 1, meta={"bytes": -99})
+        assert cache.meta(key)["bytes"] > 0

@@ -1,0 +1,102 @@
+"""MetricsRegistry.merge edge cases.
+
+Merge is how the campaign parent unifies per-worker registries; these
+pin its contract: counters add, gauges take the incoming value
+(last-writer-wins), and the ``as_dict`` wire form round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestEmptyMerges:
+    def test_empty_into_empty(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.merge(b)
+        assert len(a) == 0
+        assert a.as_dict() == {"counters": {}, "gauges": {}}
+
+    def test_empty_into_populated_changes_nothing(self):
+        a = MetricsRegistry()
+        a.counter("sim.messages").inc(7)
+        a.gauge("queue.depth").set(3)
+        before = a.as_dict()
+        a.merge(MetricsRegistry())
+        a.merge({})  # dict form without counters/gauges keys at all
+        assert a.as_dict() == before
+
+    def test_populated_into_empty_copies_values(self):
+        b = MetricsRegistry()
+        b.counter("sim.messages").inc(7)
+        b.gauge("queue.depth").set(3)
+        a = MetricsRegistry()
+        a.merge(b)
+        assert a.as_dict() == b.as_dict()
+
+
+class TestGaugeConflicts:
+    def test_last_writer_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.gauge("g").value == 2.0
+        # Direction matters: merging a's old dict back flips it again.
+        a.merge({"gauges": {"g": 1.0}})
+        assert a.gauge("g").value == 1.0
+
+    def test_incoming_zero_overwrites(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(5.0)
+        a.merge({"gauges": {"g": 0.0}})
+        assert a.gauge("g").value == 0.0
+
+
+class TestCounterSemantics:
+    def test_counters_add_not_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.merge(b)
+        assert a.counter("c").value == 5.0
+
+    def test_large_counts_accumulate_as_float(self):
+        """Counts past 2**53 lose integer precision but never raise —
+        workers shipping huge message totals must merge safely."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        big = 2**62
+        a.counter("c").inc(big)
+        b.counter("c").inc(big)
+        a.merge(b)
+        value = a.counter("c").value
+        assert isinstance(value, float)
+        assert value == pytest.approx(2.0 * big)
+
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("m").inc()
+        with pytest.raises(TypeError, match="already registered"):
+            a.merge({"gauges": {"m": 1.0}})
+
+
+class TestRoundTrip:
+    def test_merge_then_as_dict_round_trip(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("sim.messages").inc(4)
+        a.gauge("queue.depth").set(2)
+        b.counter("sim.messages").inc(6)
+        b.counter("sim.bytes").inc(1024)
+        b.gauge("queue.depth").set(9)
+        a.merge(b)
+
+        # A fresh registry fed the merged wire form reproduces it.
+        c = MetricsRegistry()
+        c.merge(a.as_dict())
+        assert c.as_dict() == a.as_dict()
+        assert c.as_dict() == {
+            "counters": {"sim.bytes": 1024.0, "sim.messages": 10.0},
+            "gauges": {"queue.depth": 9.0},
+        }

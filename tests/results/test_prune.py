@@ -1,0 +1,92 @@
+"""prune_cache: manifest/index references and age both pin entries."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.results.cli import main as results_main
+from repro.results.db import ResultsDB
+from repro.results.prune import prune_cache
+
+
+def _stale(cache: ResultCache, key: str) -> None:
+    """Rewrite the sidecar's created_at so the entry looks old."""
+    _, sidecar = cache._paths(key)
+    meta = json.load(open(sidecar))
+    meta["created_at"] = "2020-01-01T00:00:00+00:00"
+    with open(sidecar, "w") as fh:
+        json.dump(meta, fh)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    c = ResultCache(str(tmp_path / "cache"))
+    for key in ("aa" * 32, "bb" * 32, "cc" * 32):
+        c.put(key, {"k": key}, meta={"ident": "sleep", "point": key[:2]})
+        _stale(c, key)
+    return c
+
+
+class TestPrune:
+    def test_manifest_reference_pins(self, cache):
+        cache.write_manifest({"units": [{"key": "aa" * 32}]})
+        report = prune_cache(cache.root, older_than_days=30)
+        assert {c.key for c in report.removed} == {"bb" * 32, "cc" * 32}
+        assert report.kept == 1
+        assert cache.get("aa" * 32) is not None
+        assert cache.get("bb" * 32) is None
+
+    def test_index_reference_pins(self, cache, tmp_path):
+        db_path = str(tmp_path / "i.db")
+        with ResultsDB(db_path) as db:
+            db.record_run(run_key="bb" * 32, source="campaign",
+                          ident="sleep", cache_key="bb" * 32)
+        report = prune_cache(cache.root, older_than_days=30,
+                             db_path=db_path)
+        assert {c.key for c in report.removed} == {"aa" * 32, "cc" * 32}
+        assert cache.get("bb" * 32) is not None
+
+    def test_young_entries_survive(self, cache):
+        # Re-put one entry so its created_at is now.
+        cache.put("cc" * 32, 1, meta={"ident": "sleep"})
+        report = prune_cache(cache.root, older_than_days=30)
+        assert "cc" * 32 not in {c.key for c in report.removed}
+        assert len(report.removed) == 2
+
+    def test_dry_run_deletes_nothing(self, cache):
+        report = prune_cache(cache.root, older_than_days=0, dry_run=True)
+        assert report.dry_run and len(report.removed) == 3
+        assert report.removed_bytes > 0
+        assert sorted(cache.keys()) == sorted(
+            ("aa" * 32, "bb" * 32, "cc" * 32))
+
+    def test_negative_days_rejected(self, cache):
+        with pytest.raises(ValueError, match=">= 0"):
+            prune_cache(cache.root, older_than_days=-1)
+
+    def test_missing_dir_is_reported(self, tmp_path):
+        report = prune_cache(str(tmp_path / "nope"), older_than_days=1)
+        assert report.errors and not report.removed
+
+    def test_removed_sidecars_go_too(self, cache):
+        prune_cache(cache.root, older_than_days=0)
+        pkl, sidecar = cache._paths("aa" * 32)
+        assert not os.path.exists(pkl) and not os.path.exists(sidecar)
+
+
+class TestPruneCli:
+    def test_cli_dry_run_and_json(self, cache, capsys):
+        rc = results_main(["prune", "--cache-dir", cache.root,
+                           "--older-than", "0", "--dry-run", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dry_run"] is True and len(doc["removed"]) == 3
+
+    def test_cli_negative_days_exits_2(self, cache, capsys):
+        rc = results_main(["prune", "--cache-dir", cache.root,
+                           "--older-than", "-3"])
+        assert rc == 2

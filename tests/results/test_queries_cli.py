@@ -1,0 +1,151 @@
+"""Canned reports and the ``results`` CLI front end.
+
+The CLI is exercised through :func:`repro.results.cli.main` with
+explicit argv — no subprocesses, so these stay tier 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.results.cli import main as results_main
+from repro.results.db import ResultsDB
+from repro.results.ingest import Ingestor
+from repro.results.queries import (
+    experiment_rollup,
+    run_query,
+    runs_report,
+    trajectory_from_db,
+)
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+_BENCH = os.path.join(_REPO_ROOT, "BENCH_agcm.json")
+
+
+@pytest.fixture
+def seeded_db(tmp_path):
+    path = str(tmp_path / "i.db")
+    with ResultsDB(path) as db:
+        db.record_run(run_key="a", source="campaign", ident="sleep",
+                      point="0.01#a", cache_key="a", git_sha="s1",
+                      created_at="2026-08-01T00:00:00+00:00",
+                      metrics={"duration_seconds": (0.5, "s")})
+        db.record_run(run_key="b", source="campaign", ident="sleep",
+                      point="0.01#b", cache_key="b", status="failed",
+                      metrics={"duration_seconds": (1.5, "s")})
+        db.record_run(run_key="c", source="serve", ident="table8",
+                      point="4x4", cache_key="c",
+                      metrics={"duration_seconds": (2.0, "s")})
+        db.record_hit("a")
+        db.record_hit("a")
+    return path
+
+
+class TestCannedReports:
+    def test_rollup_counts_and_extremes(self, seeded_db):
+        roll = experiment_rollup(seeded_db)
+        assert roll["sleep"]["runs"] == 2
+        assert roll["sleep"]["failed"] == 1
+        assert roll["sleep"]["cache_hits"] == 2
+        assert roll["sleep"]["best_seconds"] == 0.5
+        assert roll["sleep"]["worst_seconds"] == 1.5
+        assert roll["table8"]["runs"] == 1
+
+    def test_runs_report_filters(self, seeded_db):
+        tables, doc = runs_report(seeded_db, ident="sleep")
+        assert len(doc["runs"]) == 2
+        assert {r["ident"] for r in doc["runs"]} == {"sleep"}
+        tables, doc = runs_report(seeded_db, source="serve")
+        assert [r["ident"] for r in doc["runs"]] == ["table8"]
+        rendered = tables[0].render()
+        assert "table8" in rendered and "4x4" in rendered
+
+    def test_run_query_binds_params(self, seeded_db):
+        cols, rows = run_query(
+            seeded_db,
+            "SELECT point FROM runs WHERE ident = ? ORDER BY point",
+            ("sleep",),
+        )
+        assert rows == [("0.01#a",), ("0.01#b",)]
+
+    def test_trajectory_from_empty_db_is_none(self, seeded_db):
+        assert trajectory_from_db(seeded_db) is None
+
+    def test_trajectory_from_missing_db_is_none(self, tmp_path):
+        assert trajectory_from_db(str(tmp_path / "absent.db")) is None
+
+
+class TestCli:
+    def test_missing_db_exits_2_with_hint(self, tmp_path, capsys):
+        rc = results_main(["runs", "--db", str(tmp_path / "none.db")])
+        assert rc == 2
+        assert "--results-db" in capsys.readouterr().err
+
+    def test_ingest_without_sources_exits_2(self, tmp_path, capsys):
+        rc = results_main(["ingest", "--db", str(tmp_path / "i.db")])
+        assert rc == 2
+        assert "nothing to ingest" in capsys.readouterr().err
+
+    def test_ingest_then_runs_and_query(self, tmp_path, capsys):
+        db = str(tmp_path / "i.db")
+        rc = results_main(["ingest", "--db", db, "--bench", _BENCH,
+                           "--git-sha", "t1", "--json"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["runs_indexed"] > 0
+        assert stats["sources"][0]["added"] == stats["runs_indexed"]
+
+        rc = results_main(["runs", "--db", db, "--source", "bench"])
+        assert rc == 0
+        assert "bench:agcm" in capsys.readouterr().out
+
+        rc = results_main([
+            "query", "SELECT COUNT(*) AS n FROM runs WHERE source = ?",
+            "--db", db, "--param", "bench", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)[0]["n"] \
+            == stats["runs_indexed"]
+
+    def test_query_cannot_write(self, tmp_path, capsys):
+        db = str(tmp_path / "i.db")
+        with ResultsDB(db) as handle:
+            handle.record_run(run_key="k", source="campaign", ident="x")
+        rc = results_main(["query", "DELETE FROM runs", "--db", db])
+        assert rc == 2
+        assert "readonly" in capsys.readouterr().err
+        with ResultsDB(db) as handle:
+            assert len(handle) == 1
+
+    def test_trajectory_renders_tracked_ratios(self, tmp_path, capsys):
+        db = str(tmp_path / "i.db")
+        with ResultsDB(db) as handle:
+            Ingestor(handle, git_sha="").ingest_bench_file(_BENCH)
+        rc = results_main(["trajectory", "--db", db, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        from repro.verify import bench_record
+
+        traj = bench_record.load_trajectory(_BENCH)
+        assert len(doc["entries"]) == len(traj["entries"])
+        # Every gated metric of the newest JSON entry is reproduced.
+        newest = traj["entries"][-1]
+        for name in newest["tracked_ratios"]:
+            assert doc["entries"][-1]["values"][name] \
+                == newest["metrics"][name]
+
+    def test_trajectory_without_bench_rows_exits_2(self, tmp_path, capsys):
+        db = str(tmp_path / "i.db")
+        with ResultsDB(db) as handle:
+            handle.record_run(run_key="k", source="campaign", ident="x")
+        rc = results_main(["trajectory", "--db", db])
+        assert rc == 2
+        assert "no bench entries" in capsys.readouterr().err
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert results_main(["frobnicate"]) == 2

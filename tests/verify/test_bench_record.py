@@ -88,6 +88,41 @@ def test_non_trajectory_file_rejected(tmp_path):
         br.load_trajectory(str(path))
 
 
+def test_invalid_entry_fails_load_with_actionable_error(tmp_path):
+    """A hand-edited entry fails at load, naming the entry and problem,
+    instead of KeyError-ing deep inside the baseline comparison."""
+    path = str(tmp_path / "BENCH_agcm.json")
+    traj = br.empty_trajectory()
+    good = _entry()
+    bad = dict(_entry(), metrics="not-a-dict")
+    traj["entries"] = [good, bad]
+    with open(path, "w") as fh:
+        json.dump(traj, fh)
+    with pytest.raises(ValueError) as err:
+        br.load_trajectory(path)
+    msg = str(err.value)
+    assert "invalid benchmark trajectory" in msg
+    assert "entry #1" in msg  # the bad entry is named, the good one not
+    assert "entry #0" not in msg
+    assert "bench_gate.py" in msg  # the fix hint
+
+
+def test_many_invalid_entries_are_summarized(tmp_path):
+    path = str(tmp_path / "BENCH_agcm.json")
+    traj = br.empty_trajectory()
+    traj["entries"] = [{"timestamp": f"t{i}"} for i in range(9)]
+    with open(path, "w") as fh:
+        json.dump(traj, fh)
+    with pytest.raises(ValueError, match=r"more\)"):
+        br.load_trajectory(path)
+
+
+def test_repo_trajectory_passes_validation():
+    """The committed BENCH_agcm.json must always load cleanly."""
+    traj = br.load_trajectory(os.path.join(_REPO_ROOT, "BENCH_agcm.json"))
+    assert traj["entries"]
+
+
 # ----------------------------------------------------------------------
 # gating
 # ----------------------------------------------------------------------
