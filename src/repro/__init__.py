@@ -88,6 +88,7 @@ from repro.solvers import (
 # subpackage imports above to keep the import graph acyclic.
 from repro import api
 from repro.api import RunResult
+from repro.options import RunOptions
 
 __version__ = "1.0.0"
 
@@ -135,6 +136,7 @@ __all__ = [
     "ExperimentSpec",
     "run_experiment",
     "api",
+    "RunOptions",
     "RunResult",
     # solvers
     "solve_tridiagonal",

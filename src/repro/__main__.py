@@ -8,20 +8,28 @@ Usage::
     python -m repro all                  # everything (minutes)
     python -m repro report [PATH]        # full markdown report (minutes)
     python -m repro report --quick       # fast subset, printed to stdout
+    python -m repro run EXPERIMENT ... [--fast] [--obs|--no-obs]
+                       [--cache-dir [PATH]] [--results-db [PATH]]
+                                         # run through the unified
+                                         # options surface (--fast =
+                                         # engine fastpath; --results-db
+                                         # records the run)
     python -m repro profile EXPERIMENT [--trace-out [PATH]]
-                                         [--metrics-out [PATH]]
+                                       [--metrics-out [PATH]]
+                                       [--flamegraph-out [PATH]]
                                          # run observed; export Perfetto
-                                         # trace and/or metrics summary
+                                         # trace, metrics summary and/or
+                                         # folded flamegraph stacks
     python -m repro guard [--policy NAME] [--buddy-every N]
                           [--report-out [PATH]]
                                          # numerical-health supervision
                                          # demo (overhead + recovery
                                          # matrix + buddy-vs-disk)
     python -m repro campaign [SELECTOR ...] [--sweep NAME] [--workers N]
-                             [--cache-dir [PATH]] [--resume] [--obs]
-                             [--no-cache] [--report-out [PATH]]
-                             [--json-out [PATH]] [--results]
-                             [--results-db [PATH]]
+                             [--cache-dir [PATH]] [--resume]
+                             [--obs|--no-obs] [--fast] [--no-cache]
+                             [--report-out [PATH]] [--json-out [PATH]]
+                             [--results] [--results-db [PATH]]
                                          # process-parallel sweep over
                                          # the registry with content-
                                          # addressed result caching
@@ -35,7 +43,7 @@ Usage::
                                          # (see `results -h`)
     python -m repro serve [--host HOST] [--port PORT] [--workers N]
                           [--queue-limit N] [--cache-dir [PATH]]
-                          [--results-db [PATH]]
+                          [--results-db [PATH]] [--fast] [--no-obs]
                                          # always-on service gateway
                                          # (cache-first, coalescing,
                                          # admission control)
@@ -105,13 +113,77 @@ def _optional_value(rest: list[str], i: int) -> tuple[str | None, int]:
     return None, i + 1
 
 
+def _db_default(rest: list[str], i: int) -> tuple[str, int]:
+    """``--results-db [PATH]``: explicit path or the conventional one."""
+    from repro.results import DEFAULT_DB
+
+    value, i = _optional_value(rest, i)
+    return value or DEFAULT_DB, i
+
+
+def _cmd_run(rest: list[str]) -> int:
+    from repro import api
+    from repro.options import RunOptions
+
+    idents: list[str] = []
+    obs = False
+    fast = False
+    cache_dir: str | None = None
+    results_db: str | None = None
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--fast":
+            fast = True
+            i += 1
+        elif arg == "--obs":
+            obs = True
+            i += 1
+        elif arg == "--no-obs":
+            obs = False
+            i += 1
+        elif arg == "--cache-dir":
+            from repro.campaign.scheduler import default_cache_dir
+
+            cache_dir, i = _optional_value(rest, i)
+            cache_dir = cache_dir or default_cache_dir()
+        elif arg == "--results-db":
+            results_db, i = _db_default(rest, i)
+        elif arg.startswith("-"):
+            print(f"run: unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            idents.append(arg)
+            i += 1
+    if not idents:
+        print("run: at least one experiment identifier is required "
+              "(try 'list')", file=sys.stderr)
+        return 2
+    unknown = [ident for ident in idents if ident not in EXPERIMENTS]
+    if unknown:
+        return _unknown_experiment(unknown)
+    opts = RunOptions(obs=obs, fast=fast, cache_dir=cache_dir,
+                      results_db=results_db)
+    for ident in idents:
+        start = time.time()
+        result = api.run(ident, options=opts)
+        print(result.render())
+        print(f"[{ident} ran in {time.time() - start:.1f}s]\n")
+    if results_db:
+        print(f"runs recorded in result index {results_db}")
+    return 0
+
+
 def _cmd_profile(rest: list[str]) -> int:
     from repro import api
+    from repro.options import RunOptions
 
     ident: str | None = None
     trace_out: str | None = None
     metrics_out: str | None = None
-    want_trace = want_metrics = False
+    flamegraph_out: str | None = None
+    results_db: str | None = None
+    want_trace = want_metrics = want_flame = False
     i = 0
     while i < len(rest):
         arg = rest[i]
@@ -121,6 +193,17 @@ def _cmd_profile(rest: list[str]) -> int:
         elif arg == "--metrics-out":
             want_metrics = True
             metrics_out, i = _optional_value(rest, i)
+        elif arg == "--flamegraph-out":
+            want_flame = True
+            flamegraph_out, i = _optional_value(rest, i)
+        elif arg == "--results-db":
+            results_db, i = _db_default(rest, i)
+        elif arg == "--fast":
+            # Accepted for flag uniformity; profiling always observes
+            # and a live observer overrides the fastpath by contract.
+            print("profile: note: --fast is ignored (profiling always "
+                  "observes)", file=sys.stderr)
+            i += 1
         elif arg.startswith("-"):
             print(f"profile: unknown option {arg!r}", file=sys.stderr)
             return 2
@@ -141,22 +224,29 @@ def _cmd_profile(rest: list[str]) -> int:
         trace_out = f"trace-{ident}.json"
     if want_metrics and metrics_out is None:
         metrics_out = f"metrics-{ident}.json"
-    if not want_trace and not want_metrics:
+    if want_flame and flamegraph_out is None:
+        flamegraph_out = f"flamegraph-{ident}.folded"
+    opts = RunOptions(results_db=results_db)
+    if not (want_trace or want_metrics or want_flame):
         # Still observe — print the metrics summary so a bare
         # `profile fig1` is useful on its own.
         from repro.obs import render_metrics_markdown
 
-        result = api.profile(ident)
+        result = api.profile(ident, options=opts)
         print(result.render())
         print(render_metrics_markdown(result.metrics()))
         return 0
     start = time.time()
-    result = api.profile(ident, trace_out=trace_out, metrics_out=metrics_out)
+    result = api.profile(ident, trace_out=trace_out,
+                         metrics_out=metrics_out,
+                         flamegraph_out=flamegraph_out, options=opts)
     print(result.render())
     if trace_out:
         print(f"trace written to {trace_out}")
     if metrics_out:
         print(f"metrics written to {metrics_out}")
+    if flamegraph_out:
+        print(f"flamegraph stacks written to {flamegraph_out}")
     print(f"[{ident} profiled in {time.time() - start:.1f}s]")
     return 0
 
@@ -209,8 +299,10 @@ def _cmd_guard(rest: list[str]) -> int:
     except ValueError as exc:
         print(f"guard: {exc}", file=sys.stderr)
         return 2
+    from repro.options import RunOptions
+
     start = time.time()
-    result = api.run("guard", guard=gcfg)
+    result = api.run("guard", options=RunOptions(guard=gcfg))
     text = result.render()
     print(text)
     if want_report:
@@ -237,6 +329,7 @@ def _cmd_campaign(rest: list[str]) -> int:
     cache_dir: str | None = None
     resume = False
     obs = False
+    fast = False
     use_cache = True
     report_out: str | None = None
     json_out: str | None = None
@@ -276,6 +369,12 @@ def _cmd_campaign(rest: list[str]) -> int:
         elif arg == "--obs":
             obs = True
             i += 1
+        elif arg == "--no-obs":
+            obs = False
+            i += 1
+        elif arg == "--fast":
+            fast = True
+            i += 1
         elif arg == "--no-cache":
             use_cache = False
             i += 1
@@ -289,10 +388,7 @@ def _cmd_campaign(rest: list[str]) -> int:
             show_results = True
             i += 1
         elif arg == "--results-db":
-            from repro.results import DEFAULT_DB
-
-            results_db, i = _optional_value(rest, i)
-            results_db = results_db or DEFAULT_DB
+            results_db, i = _db_default(rest, i)
         elif arg.startswith("-"):
             print(f"campaign: unknown option {arg!r}", file=sys.stderr)
             return 2
@@ -305,12 +401,17 @@ def _cmd_campaign(rest: list[str]) -> int:
         return 2
     if resume and cache_dir is None:
         cache_dir = default_cache_dir()
+    from repro.options import RunOptions
+
     start = time.time()
     try:
         report = api.run_campaign(
-            selectors or None, sweep=sweep, workers=workers,
-            cache_dir=cache_dir, resume=resume, obs=obs,
-            use_cache=use_cache, results_db=results_db,
+            selectors or None, sweep=sweep,
+            options=RunOptions(
+                workers=workers, cache_dir=cache_dir, resume=resume,
+                obs=obs, use_cache=use_cache, results_db=results_db,
+                fast=fast,
+            ),
         )
     except (KeyError, ValueError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -349,6 +450,8 @@ def _cmd_serve(rest: list[str]) -> int:
     queue_limit = 64
     cache_dir: str | None = None
     results_db: str | None = None
+    fast = False
+    spans = True
     bench = False
     seed: int | None = None
     json_out: str | None = None
@@ -384,10 +487,15 @@ def _cmd_serve(rest: list[str]) -> int:
             cache_dir, i = _optional_value(rest, i)
             cache_dir = cache_dir or ".repro-serve-cache"
         elif arg == "--results-db":
-            from repro.results import DEFAULT_DB
-
-            results_db, i = _optional_value(rest, i)
-            results_db = results_db or DEFAULT_DB
+            results_db, i = _db_default(rest, i)
+        elif arg == "--fast":
+            fast = True
+            i += 1
+        elif arg == "--no-obs":
+            # Per-request gateway spans off (the serve analogue of an
+            # unobserved run).
+            spans = False
+            i += 1
         elif arg == "--bench":
             bench = True
             i += 1
@@ -431,7 +539,7 @@ def _cmd_serve(rest: list[str]) -> int:
     try:
         config = ServeConfig(host=host, port=port, pool_workers=workers,
                              queue_limit=queue_limit, cache_dir=cache_dir,
-                             results_db=results_db)
+                             results_db=results_db, fast=fast, spans=spans)
     except (TypeError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -464,6 +572,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args[0] == "report":
         return _cmd_report(args[1:])
+    if args[0] == "run":
+        return _cmd_run(args[1:])
     if args[0] == "profile":
         return _cmd_profile(args[1:])
     if args[0] == "campaign":

@@ -7,13 +7,22 @@ and none of them aware of observability.  This module is the single
 front door::
 
     import repro.api as api
+    from repro.options import RunOptions
 
-    res = api.run("fig1")                      # plain run
-    res = api.run("fig1", obs=True)            # + spans and metrics
+    res = api.run("fig1")                                # plain run
+    res = api.run("fig1", options=RunOptions(obs=True))  # + spans
+    res = api.run("fig1", options=RunOptions(fast=True)) # fastpath
     print(res.render())
-    res.observer.spans                         # the recorded spans
+    res.observer.spans                                   # recorded spans
 
     api.profile("table8", trace_out="t.json")  # run + Perfetto export
+
+Execution knobs (observability, guard, faults, fastpath, cache and
+results-db locations, worker counts) travel together in a
+:class:`repro.options.RunOptions`; the historical per-knob keywords
+(``obs=``, ``guard=``, ``workers=``, ...) keep working through
+deprecation shims.  See ``docs/performance.md`` for the migration
+table.
 
 ``run`` is keyword-only beyond the experiment identifier, mirroring
 :func:`repro.reporting.run_experiment`; all runner options pass through
@@ -22,9 +31,12 @@ front door::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
+from repro.options import RunOptions, UNSET, merge_legacy
+from repro.parallel import engine as _engine
 from repro.obs import (
     Observer,
     activate,
@@ -59,6 +71,9 @@ class RunResult:
     value: Any
     observer: Optional[Observer] = None
     options: Dict[str, Any] = field(default_factory=dict)
+    #: The resolved :class:`repro.options.RunOptions` the run used (None
+    #: for results wrapped via :func:`wrap_sim_result`).
+    run_options: Optional[RunOptions] = None
 
     @property
     def observed(self) -> bool:
@@ -137,40 +152,90 @@ def _resolve_guard(guard):
     )
 
 
-def run(experiment: str, *, obs: Union[None, bool, Observer] = None,
-        guard: Any = None, **options) -> RunResult:
+def _record_api_run(db_path: str, experiment: str,
+                    options: Dict[str, Any], seconds: float) -> None:
+    """Index one ad-hoc ``api.run`` in the cross-run results DB."""
+    import uuid
+
+    from repro.results import ResultsDB, current_git_sha
+    from repro.results.db import _utcnow
+
+    with ResultsDB(db_path) as db:
+        db.record_run(
+            run_key=uuid.uuid4().hex, source="api", ident=experiment,
+            params={k: repr(v) for k, v in sorted(options.items())},
+            git_sha=current_git_sha(), created_at=_utcnow(),
+            metrics={"duration_seconds": (seconds, "s")},
+        )
+
+
+def run(experiment: str, *, options: Any = None,
+        obs: Any = UNSET, guard: Any = UNSET,
+        fast: Any = UNSET, faults: Any = UNSET,
+        **runner_options) -> RunResult:
     """Run a registered experiment and return a :class:`RunResult`.
 
     ``experiment`` is a registry identifier (see
     :data:`repro.reporting.EXPERIMENTS` or ``python -m repro list``).
-    ``obs`` selects observability: ``None``/``False`` for a plain run
-    (zero instrumentation cost), ``True`` to record into a fresh
-    :class:`repro.obs.Observer`, or an existing ``Observer`` to
-    aggregate several runs into one trace.  ``guard`` selects numerical
-    health supervision for guard-aware runners: ``True`` for the default
-    :class:`repro.guard.GuardConfig`, a policy name (``"halt"``,
-    ``"rollback_retry"``, ``"rollback_adapt"``) or a full config.
-    Remaining keyword options go to the experiment runner verbatim.
+    ``options`` is a :class:`repro.options.RunOptions` (or a dict of its
+    fields) carrying the execution knobs:
+
+    ``obs``
+        observability — ``None``/``False`` for a plain run (zero
+        instrumentation cost), ``True`` to record into a fresh
+        :class:`repro.obs.Observer`, or an existing ``Observer`` to
+        aggregate several runs into one trace;
+    ``guard``
+        numerical health supervision for guard-aware runners — ``True``
+        for the default :class:`repro.guard.GuardConfig`, a policy name
+        (``"halt"``, ``"rollback_retry"``, ``"rollback_adapt"``) or a
+        full config;
+    ``fast``
+        opt into the engine fastpath (span bookkeeping skipped, scratch
+        arrays pooled; a live observer overrides it);
+    ``faults``
+        a :class:`repro.faults.FaultPlan` for fault-aware runners;
+    ``results_db``
+        record the run in the :mod:`repro.results` index.
+
+    The old per-knob keywords (``obs=``, ``guard=``, ...) still work via
+    deprecation shims.  Remaining keyword options go to the experiment
+    runner verbatim.
     """
-    observer = _resolve_observer(obs)
-    gcfg = _resolve_guard(guard)
+    opts = merge_legacy(options, "repro.api.run",
+                        obs=obs, guard=guard, fast=fast, faults=faults)
+    observer = _resolve_observer(opts.obs)
+    gcfg = _resolve_guard(opts.guard)
     if gcfg is not None:
-        options = dict(options, guard=gcfg)
-    value = run_experiment(experiment, obs=observer, **options)
+        runner_options = dict(runner_options, guard=gcfg)
+    if opts.faults is not None:
+        runner_options = dict(runner_options, faults=opts.faults)
+    t0 = time.perf_counter()
+    if opts.fast:
+        with _engine.fastpath():
+            value = run_experiment(experiment, obs=observer,
+                                   **runner_options)
+    else:
+        value = run_experiment(experiment, obs=observer, **runner_options)
+    if opts.results_db:
+        _record_api_run(opts.results_db, experiment, runner_options,
+                        time.perf_counter() - t0)
     return RunResult(experiment=experiment, value=value, observer=observer,
-                     options=dict(options))
+                     options=dict(runner_options), run_options=opts)
 
 
 def run_campaign(
     experiments: Optional[Any] = None,
     *,
     sweep: Optional[str] = None,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = False,
-    obs: bool = False,
-    use_cache: bool = True,
-    results_db: Optional[str] = None,
+    options: Any = None,
+    workers: Any = UNSET,
+    cache_dir: Any = UNSET,
+    resume: Any = UNSET,
+    obs: Any = UNSET,
+    use_cache: Any = UNSET,
+    results_db: Any = UNSET,
+    fast: Any = UNSET,
 ):
     """Run a process-parallel, cache-backed campaign over the registry.
 
@@ -188,21 +253,26 @@ def run_campaign(
     additionally records every completed unit in the
     :mod:`repro.results` cross-run index (idempotent on the unit key).
 
+    Knobs travel in ``options=`` (a :class:`repro.options.RunOptions` or
+    a dict); the per-knob keywords remain as deprecation shims.  A bad
+    worker count dies here, at the facade, before the campaign machinery
+    (and multiprocessing) ever loads: `workers=0` used to slip through
+    and surface as a confusing pool-side failure.
+
     Lazy import: the campaign engine pulls in ``multiprocessing`` and
     the full registry; the facade stays importable without it.
     """
-    from repro.util.validation import check_positive_int
-
-    # Reject a bad worker count here, before the campaign machinery (and
-    # multiprocessing) ever loads: `workers=0` used to slip through and
-    # surface as a confusing pool-side failure.
-    workers = check_positive_int(workers, "workers (campaign pool size)")
+    opts = merge_legacy(options, "repro.api.run_campaign",
+                        workers=workers, cache_dir=cache_dir, resume=resume,
+                        obs=obs, use_cache=use_cache, results_db=results_db,
+                        fast=fast)
     from repro.campaign import run_campaign as _run_campaign
 
     return _run_campaign(
-        experiments, sweep=sweep, workers=workers, cache_dir=cache_dir,
-        resume=resume, obs=obs, use_cache=use_cache,
-        results_db=results_db,
+        experiments, sweep=sweep, workers=opts.workers,
+        cache_dir=opts.cache_dir, resume=opts.resume, obs=bool(opts.obs),
+        use_cache=opts.use_cache, results_db=opts.results_db,
+        fast=opts.fast,
     )
 
 
@@ -223,21 +293,31 @@ def wrap_sim_result(experiment: str, value: Any,
 
 def profile(experiment: str, *, trace_out: Optional[str] = None,
             metrics_out: Optional[str] = None,
-            obs: Union[None, bool, Observer] = None,
-            **options) -> RunResult:
+            flamegraph_out: Optional[str] = None,
+            options: Any = None,
+            obs: Any = UNSET, guard: Any = UNSET, faults: Any = UNSET,
+            **runner_options) -> RunResult:
     """Run an experiment under observation and export the artefacts.
 
     Always observes (``obs=None`` means a fresh observer here, unlike
-    :func:`run`).  Writes a Perfetto-loadable Chrome trace to
-    ``trace_out`` and a JSON metrics summary to ``metrics_out`` when
-    given; either may be omitted.
+    :func:`run`) — which also means ``fast`` is moot: a live observer
+    overrides the fastpath by contract.  Writes a Perfetto-loadable
+    Chrome trace to ``trace_out``, a JSON metrics summary to
+    ``metrics_out`` and a folded-stack flamegraph dump to
+    ``flamegraph_out`` when given; any may be omitted.
     """
-    observer = _resolve_observer(obs) or Observer()
-    result = run(experiment, obs=observer, **options)
+    opts = merge_legacy(options, "repro.api.profile",
+                        obs=obs, guard=guard, faults=faults)
+    observer = _resolve_observer(opts.obs) or Observer()
+    result = run(experiment, options=opts.with_(obs=observer, fast=False),
+                 **runner_options)
     if trace_out:
         write_chrome_trace(observer, trace_out)
     if metrics_out:
         write_metrics_summary(observer, metrics_out)
+    if flamegraph_out:
+        with open(flamegraph_out, "w") as fh:
+            fh.write(result.flamegraph())
     return result
 
 
@@ -246,6 +326,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "Observer",
+    "RunOptions",
     "RunResult",
     "activate",
     "profile",

@@ -55,8 +55,23 @@ def _mp_context():
         return mp.get_context("spawn")
 
 
+def _execute(unit: CampaignUnit, fast: bool):
+    """Run one unit, under the engine fastpath when requested.
+
+    The fastpath flag is threaded explicitly (not inherited) because
+    forked pool workers do not share the parent's contextvars.
+    """
+    if not fast:
+        return execute_unit(unit)
+    from repro.parallel import engine as _engine
+
+    with _engine.fastpath():
+        return execute_unit(unit)
+
+
 def _run_one(unit: CampaignUnit, worker: int,
-             cache: Optional[ResultCache], observe: bool) -> UnitOutcome:
+             cache: Optional[ResultCache], observe: bool,
+             fast: bool = False) -> UnitOutcome:
     """Execute one unit (in whatever process this is) and cache it."""
     t0 = time.perf_counter()
     value = None
@@ -68,10 +83,10 @@ def _run_one(unit: CampaignUnit, worker: int,
 
             obs = Observer()
             with activate(obs):
-                value = execute_unit(unit)
+                value = _execute(unit, fast)
             metrics = obs.metrics.as_dict()
         else:
-            value = execute_unit(unit)
+            value = _execute(unit, fast)
     except Exception as exc:  # noqa: BLE001 - reported per unit
         error = f"{type(exc).__name__}: {exc}"
     seconds = time.perf_counter() - t0
@@ -98,14 +113,14 @@ def _run_one(unit: CampaignUnit, worker: int,
 
 
 def _worker_main(worker: int, cache_dir: Optional[str], observe: bool,
-                 task_q, result_q) -> None:
+                 task_q, result_q, fast: bool = False) -> None:
     """Worker loop: pull units until the sentinel, report each outcome."""
     cache = ResultCache(cache_dir) if cache_dir else None
     while True:
         unit = task_q.get()
         if unit is None:
             break
-        result_q.put(_run_one(unit, worker, cache, observe))
+        result_q.put(_run_one(unit, worker, cache, observe, fast))
 
 
 def _campaign_metrics(report: CampaignReport, merged: Sequence) -> None:
@@ -141,6 +156,7 @@ def run_campaign(
     obs: bool = False,
     use_cache: bool = True,
     results_db: Optional[str] = None,
+    fast: bool = False,
 ) -> CampaignReport:
     """Run a campaign and return its merged :class:`CampaignReport`.
 
@@ -156,7 +172,10 @@ def run_campaign(
     worker metrics into ``report.metrics``.  ``results_db`` names a
     :mod:`repro.results` index file: every completed unit is recorded
     there as it arrives (ran/failed rows, hit-counter bumps), keyed on
-    the sha256 unit key so replays never duplicate rows.
+    the sha256 unit key so replays never duplicate rows.  ``fast=True``
+    runs every unit under the engine fastpath (bit-identical results,
+    span bookkeeping skipped) — the flag travels to pool workers
+    explicitly because fork does not carry the parent's contextvars.
     """
     if selectors is not None and sweep is not None:
         raise ValueError("pass either selectors or sweep=, not both")
@@ -220,11 +239,11 @@ def run_campaign(
 
     if nworkers <= 1:
         for unit in pending:
-            outcomes.append(_run_one(unit, 0, cache, obs))
+            outcomes.append(_run_one(unit, 0, cache, obs, fast))
     else:
         outcomes.extend(
             _run_pool(pending, nworkers,
-                      cache_dir if cache is not None else None, obs)
+                      cache_dir if cache is not None else None, obs, fast)
         )
 
     wall = time.perf_counter() - t0
@@ -251,7 +270,8 @@ def run_campaign(
 
 
 def _run_pool(pending: Sequence[CampaignUnit], nworkers: int,
-              cache_dir: Optional[str], obs: bool) -> List[UnitOutcome]:
+              cache_dir: Optional[str], obs: bool,
+              fast: bool = False) -> List[UnitOutcome]:
     """Dispatch ``pending`` to a fresh worker pool; collect all outcomes.
 
     Tolerates dying workers: if every worker has exited while outcomes
@@ -269,7 +289,7 @@ def _run_pool(pending: Sequence[CampaignUnit], nworkers: int,
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(w, cache_dir, obs, task_q, result_q),
+            args=(w, cache_dir, obs, task_q, result_q, fast),
             daemon=True,
         )
         for w in range(nworkers)

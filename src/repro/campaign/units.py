@@ -60,7 +60,7 @@ SWEEPS: Dict[str, Tuple[str, ...]] = {
     ),
     "smoke": (
         "fig1@4x4", "fig2_3", "fig4_6", "blockarray",
-        "table8", "table9", "sp2@4x4",
+        "table8", "table9", "sp2@4x4", "bigmesh@32x40",
     ),
     "full": tuple(sorted(EXPERIMENTS)),
 }

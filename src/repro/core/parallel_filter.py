@@ -51,7 +51,9 @@ from repro.core.fft import fft_filter_line, fft_filter_rows, fft_filter_flop_cou
 from repro.core.masks import FilterPlan
 from repro.grid.decomposition import Decomposition2D
 from repro.parallel import collectives as coll
+from repro.parallel import engine as _engine
 from repro.parallel.comm import VirtualComm
+from repro.parallel.events import Exchange
 
 #: Recognised backend names, in the order the paper's tables list them.
 FILTER_BACKENDS = ("convolution-ring", "convolution-tree", "fft", "fft-lb")
@@ -63,6 +65,20 @@ EXTENDED_BACKENDS = FILTER_BACKENDS + ("fft-distributed",)
 
 _TAG_STAGE_A = 0x00BB0001
 _TAG_STAGE_A_BACK = 0x00BB0002
+
+
+def _staged_exchange(sends, recvs) -> Exchange:
+    """One Exchange for an *all-sends-then-all-recvs* schedule.
+
+    Stage A of the transpose filter posts every outgoing segment before
+    draining the incoming ones; the batched form pads the rounds so the
+    wire order is identical to the loop path: the received payloads sit
+    in ``result()[len(sends):]``.
+    """
+    return Exchange(
+        sends=tuple(sends) + (None,) * len(recvs),
+        recvs=(None,) * len(sends) + tuple(recvs),
+    )
 
 
 @dataclass
@@ -396,21 +412,42 @@ def filter_fft_transpose(
 
     moves = assignment.stage_a_moves()
     with ctx.span("filter.redistribute"):
-        for src, dst, units in moves:
-            if src == i_row:
-                payload = _pack_units(local_fields, plan, units, sub.lat0,
-                                      sub.nlon)
-                yield from ctx.send(
-                    mesh.rank_of(dst, j_col), payload, tag=_TAG_STAGE_A
+        if _engine.batched():
+            sends = [
+                (mesh.rank_of(dst, j_col),
+                 _pack_units(local_fields, plan, units, sub.lat0, sub.nlon),
+                 _TAG_STAGE_A, None, True)
+                for src, dst, units in moves if src == i_row
+            ]
+            incoming = [(src, units) for src, dst, units in moves
+                        if dst == i_row]
+            if sends or incoming:
+                received = yield _staged_exchange(
+                    sends,
+                    [(mesh.rank_of(src, j_col), _TAG_STAGE_A)
+                     for src, _ in incoming],
                 )
-        for src, dst, units in moves:
-            if dst == i_row:
-                payload = yield from ctx.recv(
-                    mesh.rank_of(src, j_col), tag=_TAG_STAGE_A
-                )
-                for u, seg in zip(units,
-                                  _split_units(payload, plan, units, layers)):
-                    seg_store[u] = seg
+                for (_, units), payload in zip(incoming,
+                                               received[len(sends):]):
+                    for u, seg in zip(
+                            units, _split_units(payload, plan, units, layers)):
+                        seg_store[u] = seg
+        else:
+            for src, dst, units in moves:
+                if src == i_row:
+                    payload = _pack_units(local_fields, plan, units, sub.lat0,
+                                          sub.nlon)
+                    yield from ctx.send(
+                        mesh.rank_of(dst, j_col), payload, tag=_TAG_STAGE_A
+                    )
+            for src, dst, units in moves:
+                if dst == i_row:
+                    payload = yield from ctx.recv(
+                        mesh.rank_of(src, j_col), tag=_TAG_STAGE_A
+                    )
+                    for u, seg in zip(
+                            units, _split_units(payload, plan, units, layers)):
+                        seg_store[u] = seg
 
     # ---------- stage B: transpose within the processor row ------------
     assigned = assignment.units_assigned_to_row(i_row)
@@ -469,22 +506,45 @@ def filter_fft_transpose(
 
     # ---------- inverse stage A -----------------------------------------
     with ctx.span("filter.redistribute"):
-        for src, dst, units in moves:
-            if dst == i_row:
-                payload = np.ascontiguousarray(
-                    np.concatenate([seg_store[u] for u in units], axis=1)
+        if _engine.batched():
+            sends = [
+                (mesh.rank_of(src, j_col),
+                 np.ascontiguousarray(
+                     np.concatenate([seg_store[u] for u in units], axis=1)),
+                 _TAG_STAGE_A_BACK, None, True)
+                for src, dst, units in moves if dst == i_row
+            ]
+            incoming = [(dst, units) for src, dst, units in moves
+                        if src == i_row]
+            if sends or incoming:
+                received = yield _staged_exchange(
+                    sends,
+                    [(mesh.rank_of(dst, j_col), _TAG_STAGE_A_BACK)
+                     for dst, _ in incoming],
                 )
-                yield from ctx.send(
-                    mesh.rank_of(src, j_col), payload, tag=_TAG_STAGE_A_BACK
-                )
-        for src, dst, units in moves:
-            if src == i_row:
-                payload = yield from ctx.recv(
-                    mesh.rank_of(dst, j_col), tag=_TAG_STAGE_A_BACK
-                )
-                for u, seg in zip(units,
-                                  _split_units(payload, plan, units, layers)):
-                    _store_segment(local_fields, plan, u, sub.lat0, seg)
+                for (_, units), payload in zip(incoming,
+                                               received[len(sends):]):
+                    for u, seg in zip(
+                            units, _split_units(payload, plan, units, layers)):
+                        _store_segment(local_fields, plan, u, sub.lat0, seg)
+        else:
+            for src, dst, units in moves:
+                if dst == i_row:
+                    payload = np.ascontiguousarray(
+                        np.concatenate([seg_store[u] for u in units], axis=1)
+                    )
+                    yield from ctx.send(
+                        mesh.rank_of(src, j_col), payload,
+                        tag=_TAG_STAGE_A_BACK
+                    )
+            for src, dst, units in moves:
+                if src == i_row:
+                    payload = yield from ctx.recv(
+                        mesh.rank_of(dst, j_col), tag=_TAG_STAGE_A_BACK
+                    )
+                    for u, seg in zip(
+                            units, _split_units(payload, plan, units, layers)):
+                        _store_segment(local_fields, plan, u, sub.lat0, seg)
 
     # Write back the segments this rank both owns and was assigned.
     for u in assignment.units_assigned_to_row(i_row):

@@ -54,6 +54,7 @@ from repro.grid.halo import exchange_halos
 from repro.model.config import AGCMConfig
 from repro.model.physics_balance import ColumnFlowPlan, plan_column_flow
 from repro.physics.driver import ColumnSet, run_physics
+from repro.util.arraypool import ArrayPool
 
 _TAG_LB_DATA = 0x00CC0001
 _TAG_LB_RESULT = 0x00CC0002
@@ -113,6 +114,13 @@ def agcm_rank_program(
     gstate = None
     if guard is not None and guard.enabled:
         gstate = guard.rank_state(ctx, cfg, grid, sub, dt)
+
+    # Fastpath: recycle the per-field halo-padded buffers across steps
+    # instead of allocating one per field per step.  The pool is owned by
+    # this rank program, so buffer lifetime matches the generator; each
+    # field gets its own tag because all PROGNOSTIC padded blocks are
+    # live simultaneously within a step.
+    pool = ArrayPool() if getattr(ctx, "fast", False) else None
 
     now = initial_fields_block(lat_rad_loc, lon_rad_loc, nlayers, seed=cfg.seed)
     prev: Optional[Dict[str, np.ndarray]] = None
@@ -196,7 +204,8 @@ def agcm_rank_program(
                 padded = {}
                 for name in PROGNOSTIC_NAMES:
                     padded[name] = yield from exchange_halos(
-                        ctx, decomp, now[name]
+                        ctx, decomp, now[name],
+                        pool=pool, scratch_tag=name,
                     )
             with ctx.region("fd"):
                 yield from ctx.compute(

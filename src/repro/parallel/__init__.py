@@ -6,7 +6,17 @@ generators under a deterministic discrete-event scheduler, with every
 message and flop priced by a :class:`~repro.parallel.machine.MachineModel`.
 """
 
-from repro.parallel.events import Barrier, Compute, Recv, Send, payload_nbytes
+from repro.parallel.engine import batched, fastpath, fastpath_active, legacy_engine
+from repro.parallel.events import (
+    ACCUM,
+    Barrier,
+    Compute,
+    Exchange,
+    FromRound,
+    Recv,
+    Send,
+    payload_nbytes,
+)
 from repro.parallel.machine import (
     GENERIC,
     PARAGON,
@@ -17,7 +27,12 @@ from repro.parallel.machine import (
     make_machine,
 )
 from repro.parallel.comm import GroupComm, VirtualComm
-from repro.parallel.scheduler import DeadlockError, RankFailedError, Simulator
+from repro.parallel.scheduler import (
+    CohortQueue,
+    DeadlockError,
+    RankFailedError,
+    Simulator,
+)
 from repro.parallel.timeline import (
     Event,
     busy_fraction,
@@ -29,11 +44,19 @@ from repro.parallel.topology import ProcessorMesh
 from repro.parallel.trace import RankAccounting, SimResult, Trace
 
 __all__ = [
+    "ACCUM",
     "Barrier",
     "Compute",
+    "Exchange",
+    "FromRound",
     "Recv",
     "Send",
     "payload_nbytes",
+    "batched",
+    "fastpath",
+    "fastpath_active",
+    "legacy_engine",
+    "CohortQueue",
     "MachineModel",
     "make_machine",
     "available_machines",

@@ -14,12 +14,31 @@ charges exactly the messages the algorithm performs:
 
 All functions are generators intended to be driven through a
 :class:`~repro.parallel.comm.GroupComm` with ``yield from``.
+
+Engine batching (PR 8): on the default batched engine, the hot
+multi-round collectives (all-to-all, ring allgather, recursive-doubling
+allreduce, ring reduce-scatter) yield **one**
+:class:`~repro.parallel.events.Exchange` describing all their rounds
+instead of one ``Send``/``Recv`` per message.  The scheduler interprets
+the schedule in a tight loop with vectorized cost pricing — same
+messages, same clocks, same float arithmetic, but a single generator
+resume per collective.  The original per-message algorithms are kept as
+``*_loop`` variants and selected by
+:func:`repro.parallel.engine.legacy_engine`; differential pairs assert
+the two paths stay bit-identical.  The log-round tree collectives
+(bcast/reduce/gather/scatter) are not batched: their round counts are
+logarithmic and their payloads data-dependent, so there is nothing to
+win.
 """
 
 from __future__ import annotations
 
 import operator
 from typing import Any, Callable, List, Optional, Sequence
+
+from repro.parallel import engine as _engine
+from repro.parallel.events import ACCUM, Exchange, FromRound
+from repro.util.validation import check_chunk_count
 
 _TAG_BCAST = 0x7FFF0001
 _TAG_REDUCE = 0x7FFF0002
@@ -113,11 +132,9 @@ def scatter_direct(comm, values: Optional[Sequence[Any]], root: int = 0):
     if not 0 <= root < size:
         raise ValueError(f"root {root} outside group of size {size}")
     if comm.rank == root:
-        if values is None or len(values) != size:
-            raise ValueError(
-                f"root must supply exactly {size} values, got "
-                f"{None if values is None else len(values)}"
-            )
+        if values is None:
+            raise ValueError(f"root must supply exactly {size} values, got None")
+        check_chunk_count(values, size, "scatter")
         for dest in range(size):
             if dest != root:
                 yield from comm.send(dest, values[dest], tag=_TAG_SCATTER)
@@ -157,14 +174,45 @@ def gather_binomial(comm, value: Any, root: int = 0):
     return [collected[r] for r in range(size)]
 
 
+# ----------------------------------------------------------------------
+# Hot multi-round collectives: batched front doors + legacy loop bodies.
+# ----------------------------------------------------------------------
+
 def allgather_ring(comm, value: Any):
     """Ring allgather: ``P - 1`` rounds of neighbour exchange.
 
     This is the communication pattern of the original convolution filter's
     "processor ring" variant (paper Section 3.1): every element travels
     all the way around the ring, giving ``P(P-1)`` messages total and an
-    aggregate volume of ``(P-1) * sum(nbytes)``.
+    aggregate volume of ``(P-1) * sum(nbytes)``.  Batched engine: one
+    Exchange whose round ``i`` forwards what round ``i - 1`` received
+    (:class:`FromRound` chaining).
     """
+    size = comm.size
+    result: List[Any] = [None] * size
+    result[comm.rank] = value
+    if size == 1:
+        return result
+    if not _engine.batched():
+        result = yield from allgather_ring_loop(comm, value)
+        return result
+    rank = comm.rank
+    granks = comm.ranks
+    right = granks[(rank + 1) % size]
+    left = granks[(rank - 1) % size]
+    sends: List[Any] = [(right, value, _TAG_ALLGATHER, None, True)]
+    recvs: List[Any] = [(left, _TAG_ALLGATHER)]
+    for step in range(1, size - 1):
+        sends.append((right, FromRound(step - 1), _TAG_ALLGATHER, None, True))
+        recvs.append((left, _TAG_ALLGATHER))
+    received = yield Exchange(sends=tuple(sends), recvs=tuple(recvs))
+    for step in range(size - 1):
+        result[(rank - step - 1) % size] = received[step]
+    return result
+
+
+def allgather_ring_loop(comm, value: Any):
+    """Per-message (pre-batching) ring allgather; kept for legacy_engine."""
     size = comm.size
     result: List[Any] = [None] * size
     result[comm.rank] = value
@@ -189,11 +237,47 @@ def alltoall_pairwise(comm, chunks: Sequence[Any]):
     ``chunks[d]`` is destined for group rank ``d``; returns the received
     chunks indexed by source rank.  This is the pattern of both the data
     transpose in the FFT filter and the cyclic shuffle of physics
-    load-balancing scheme 1.
+    load-balancing scheme 1.  Batched engine: the full shift schedule is
+    one Exchange with vectorized cost pricing — the O(P²) per-message
+    Python iteration disappears.
     """
     size = comm.size
-    if len(chunks) != size:
-        raise ValueError(f"need {size} chunks, got {len(chunks)}")
+    check_chunk_count(chunks, size, "alltoall")
+    if size == 1:
+        return [chunks[0]]
+    if not _engine.batched():
+        result = yield from alltoall_pairwise_loop(comm, chunks)
+        return result
+    rank = comm.rank
+    granks = comm.ranks
+    # Rotated views precompute the shift-s peers without a modulo per
+    # round: dest(s) = (rank+s) % size, src(s) = (rank-s) % size.
+    dest_local = list(range(rank + 1, size)) + list(range(rank))
+    src_local = list(range(rank - 1, -1, -1)) + list(
+        range(size - 1, rank, -1)
+    )
+    tag = _TAG_ALLTOALL
+    sends = tuple(
+        (granks[d], chunks[d], tag, None, True) for d in dest_local
+    )
+    recvs = tuple((granks[s], tag) for s in src_local)
+    # The shift schedule is closed and per-round matched (rank r's round-s
+    # send to r+s is exactly what r+s receives in its round s), so declare
+    # the group: big exchanges execute through the scheduler's vectorized
+    # bulk path instead of round-by-round.
+    received = yield Exchange(sends=sends, recvs=recvs,
+                              group=tuple(granks))
+    result: List[Any] = [None] * size
+    result[rank] = chunks[rank]
+    for s, value in zip(src_local, received):
+        result[s] = value
+    return result
+
+
+def alltoall_pairwise_loop(comm, chunks: Sequence[Any]):
+    """Per-message (pre-batching) pairwise all-to-all; kept for legacy_engine."""
+    size = comm.size
+    check_chunk_count(chunks, size, "alltoall")
     result: List[Any] = [None] * size
     result[comm.rank] = chunks[comm.rank]
     for shift in range(1, size):
@@ -214,8 +298,57 @@ def allreduce_recursive_doubling(comm, value: Any,
     for other sizes the surplus ranks fold into the largest power-of-two
     core first and receive the result afterwards (the standard
     construction).  Halves the critical-path rounds of reduce+bcast for
-    small payloads — the variant modern MPI libraries choose.
+    small payloads — the variant modern MPI libraries choose.  Batched
+    engine: the whole ladder is one combining Exchange sending the
+    running accumulator (:data:`ACCUM`) each round; fold order matches
+    the loop path exactly (``value = op(value, other)``).
     """
+    op = _default_op(op)
+    size = comm.size
+    if size == 1:
+        return value
+    if not _engine.batched():
+        result = yield from allreduce_recursive_doubling_loop(comm, value, op)
+        return result
+    pow2 = 1
+    while pow2 * 2 <= size:
+        pow2 *= 2
+    rem = size - pow2
+    rank = comm.rank
+    granks = comm.ranks
+
+    if rank >= pow2:
+        partner = granks[rank - pow2]
+        received = yield Exchange(
+            sends=((partner, value, _TAG_RDOUBLE, None, True),),
+            recvs=((partner, _TAG_RDOUBLE),),
+        )
+        return received[0]
+
+    sends: List[Any] = []
+    recvs: List[Any] = []
+    if rank < rem:
+        sends.append(None)
+        recvs.append((granks[rank + pow2], _TAG_RDOUBLE))
+    mask = 1
+    while mask < pow2:
+        partner = granks[rank ^ mask]
+        sends.append((partner, ACCUM, _TAG_RDOUBLE, None, True))
+        recvs.append((partner, _TAG_RDOUBLE))
+        mask <<= 1
+    if rank < rem:
+        sends.append((granks[rank + pow2], ACCUM, _TAG_RDOUBLE, None, True))
+        recvs.append(None)
+    value = yield Exchange(
+        sends=tuple(sends), recvs=tuple(recvs),
+        combine=lambda acc, other, _round: op(acc, other), initial=value,
+    )
+    return value
+
+
+def allreduce_recursive_doubling_loop(comm, value: Any,
+                                      op: Optional[Callable[[Any, Any], Any]] = None):
+    """Per-message (pre-batching) recursive doubling; kept for legacy_engine."""
     op = _default_op(op)
     size = comm.size
     if size == 1:
@@ -259,12 +392,44 @@ def reduce_scatter_ring(comm, chunks: Sequence[Any],
     ``P - 1`` rounds; the partial sum for chunk ``d`` starts at rank
     ``d + 1`` and travels once around the ring, each rank folding in its
     own contribution — the bandwidth-optimal first half of a ring
-    allreduce.
+    allreduce.  Batched engine: one combining Exchange that sends the
+    pre-fold accumulator each round, exactly like the loop's sendrecv.
     """
     op = _default_op(op)
     size = comm.size
-    if len(chunks) != size:
-        raise ValueError(f"need {size} chunks, got {len(chunks)}")
+    check_chunk_count(chunks, size, "reduce_scatter")
+    if size == 1:
+        return chunks[0]
+    if not _engine.batched():
+        result = yield from reduce_scatter_ring_loop(comm, chunks, op)
+        return result
+    rank = comm.rank
+    granks = comm.ranks
+    right = granks[(rank + 1) % size]
+    left = granks[(rank - 1) % size]
+    sends = tuple(
+        (right, ACCUM, _TAG_RSCAT, None, True) for _ in range(size - 1)
+    )
+    recvs = tuple((left, _TAG_RSCAT) for _ in range(size - 1))
+
+    def fold(acc, received, step):
+        # The new partial replaces the accumulator: the received partial
+        # folded with this rank's own contribution for that chunk.
+        return op(received, chunks[(rank - 2 - step) % size])
+
+    acc = yield Exchange(
+        sends=sends, recvs=recvs, combine=fold,
+        initial=chunks[(rank - 1) % size],
+    )
+    return acc
+
+
+def reduce_scatter_ring_loop(comm, chunks: Sequence[Any],
+                             op: Optional[Callable[[Any, Any], Any]] = None):
+    """Per-message (pre-batching) ring reduce-scatter; kept for legacy_engine."""
+    op = _default_op(op)
+    size = comm.size
+    check_chunk_count(chunks, size, "reduce_scatter")
     if size == 1:
         return chunks[0]
     right = (comm.rank + 1) % size

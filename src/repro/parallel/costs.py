@@ -30,7 +30,26 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.parallel.machine import MachineModel
+
+
+def batch_message_costs(machine: MachineModel, nbytes) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorized postal-model costs for a block of messages.
+
+    Returns ``(busy, message_time)`` float64 arrays for the given wire
+    sizes: ``busy[i] = overhead + nbytes[i]/bandwidth`` (sender injection
+    time) and ``message_time[i] = latency + nbytes[i]/bandwidth``
+    (end-to-end time).  Element-for-element these are the same IEEE
+    operations as :meth:`MachineModel.send_busy_time` /
+    :meth:`MachineModel.message_time` — divide then add in float64 — so
+    batched pricing is bit-identical to per-message pricing.  Used by the
+    scheduler's :class:`~repro.parallel.events.Exchange` interpreter to
+    price a whole collective's rounds in one NumPy pass.
+    """
+    per_byte = np.asarray(nbytes, dtype=np.float64) / machine.bandwidth
+    return machine.overhead + per_byte, machine.latency + per_byte
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,85 @@
+"""Engine execution modes: batched collectives and the opt-in fastpath.
+
+Two process-wide (contextvar-scoped) switches control how the
+discrete-event engine executes rank programs:
+
+* **batched** (default on) — collectives and paired exchanges yield one
+  :class:`repro.parallel.events.Exchange` op describing all their rounds
+  instead of one ``Send``/``Recv`` per message.  The scheduler interprets
+  the whole schedule in a tight loop with vectorized (NumPy) cost
+  pricing, eliminating the per-message generator switch that dominates
+  large-mesh runs.  Virtual results are bit-identical to the loop path:
+  each rank performs the same float arithmetic in the same program
+  order, and per-channel FIFO delivery is preserved (see
+  docs/performance.md for the argument).  ``legacy_engine()`` restores
+  the pre-batching per-message path — used by the differential pairs and
+  the ``sim_events_per_second`` probe to compare old-vs-new end to end.
+
+* **fastpath** (default off) — an opt-in mode for runs that only need
+  results and clocks: span/region bookkeeping is skipped entirely and
+  subdomain scratch arrays are pooled (:class:`repro.util.ArrayPool`).
+  Phase accounting (``SimResult.trace.phase_elapsed``) is empty in fast
+  mode, so experiments that read it must not enable it.  A live
+  observer always wins over ``fast``: the engine never silently drops
+  data that was explicitly asked for.
+
+Both switches use :class:`contextvars.ContextVar`, so serve-gateway
+threads and campaign worker processes can hold different modes without
+races.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = [
+    "batched",
+    "fastpath_active",
+    "legacy_engine",
+    "fastpath",
+]
+
+_BATCHED: ContextVar[bool] = ContextVar("repro_engine_batched", default=True)
+_FASTPATH: ContextVar[bool] = ContextVar("repro_engine_fastpath", default=False)
+
+
+def batched() -> bool:
+    """True when collectives should yield batched :class:`Exchange` ops."""
+    return _BATCHED.get()
+
+
+def fastpath_active() -> bool:
+    """True when the ambient fastpath (skip span/trace bookkeeping) is on."""
+    return _FASTPATH.get()
+
+
+@contextmanager
+def legacy_engine() -> Iterator[None]:
+    """Run the enclosed code on the pre-batching per-message engine path.
+
+    Every collective and paired exchange reverts to one ``Send``/``Recv``
+    yield per message.  Used by differential pairs (batched-vs-loop must
+    be bit-identical) and by the event-engine benchmark probe.
+    """
+    token = _BATCHED.set(False)
+    try:
+        yield
+    finally:
+        _BATCHED.reset(token)
+
+
+@contextmanager
+def fastpath(enabled: bool = True) -> Iterator[None]:
+    """Enable the ambient fastpath for the enclosed code.
+
+    Simulators constructed inside pick it up unless given an explicit
+    ``fast=`` argument; a live observer on a run still takes precedence
+    over the skip (see the module docstring for the contract).
+    """
+    token = _FASTPATH.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _FASTPATH.reset(token)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -99,6 +99,90 @@ class Recv:
 
     source: int
     tag: int = 0
+
+
+class FromRound:
+    """Payload sentinel inside an :class:`Exchange`: send what an earlier
+    round received.
+
+    ``FromRound(j)`` resolves to the payload delivered by round ``j``'s
+    receive — the chaining used by ring algorithms (allgather forwards
+    each round what the previous round brought in).  Only valid in
+    exchanges without ``combine`` (the per-round results must be kept).
+    """
+
+    __slots__ = ("round",)
+
+    def __init__(self, round: int):
+        self.round = int(round)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FromRound({self.round})"
+
+
+class _AccumSentinel:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "ACCUM"
+
+
+#: Payload sentinel inside an :class:`Exchange`: send the current
+#: accumulator of a combining exchange (recursive doubling sends its
+#: running reduction value each round).
+ACCUM = _AccumSentinel()
+
+
+@dataclass
+class Exchange:
+    """A batched schedule of send/recv rounds executed by the scheduler.
+
+    Collectives yield **one** ``Exchange`` describing all their rounds
+    instead of ``2 (P - 1)`` individual ``Send``/``Recv`` ops, so the
+    scheduler interprets the whole schedule in a tight loop (with
+    vectorized cost pricing) and the rank program resumes once — this is
+    the engine-level batching the hot-path overhaul is built on.
+
+    Per round ``i`` the scheduler executes, in program order, the send
+    ``sends[i]`` (if not None) and then the receive ``recvs[i]`` (if not
+    None), exactly as if the program had yielded the equivalent
+    ``Send``/``Recv`` pair — virtual clocks, accounting, fault handling
+    and per-channel FIFO order are identical, so results are
+    bit-identical to the loop path.
+
+    ``sends[i]`` is ``(dest, payload, tag, nbytes, droppable)`` with
+    **global** destination ranks; ``payload`` may be the
+    :class:`FromRound`/:data:`ACCUM` sentinels.  ``recvs[i]`` is
+    ``(source, tag)``.  Without ``combine`` the ``yield`` returns the
+    list of received payloads (``None`` for recv-less rounds); with
+    ``combine(acc, received, round)`` the accumulator (seeded from
+    ``initial``) is folded on every delivery and returned instead.
+
+    ``group`` opts a *closed, per-round-matched* collective into the
+    scheduler's vectorized bulk executor: every listed (global) rank
+    yields an Exchange with the same number of rounds, round ``i`` of
+    each member sends to another member whose round ``i`` receive names
+    it back (same tag), no round is ``None``, and no other traffic uses
+    these (dest, src, tag) channels while the exchange is in flight.
+    The pairwise all-to-all satisfies this; the scheduler validates the
+    matching before executing.  Leave ``group=None`` (the default) for
+    any schedule that does not meet the contract — it is interpreted
+    round-by-round with identical semantics, just without the NumPy
+    bulk pricing.
+    """
+
+    sends: Tuple[Optional[Tuple[int, Any, int, Optional[int], bool]], ...]
+    recvs: Tuple[Optional[Tuple[int, int]], ...]
+    combine: Optional[Callable[[Any, Any, int], Any]] = None
+    initial: Any = None
+    group: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.sends) != len(self.recvs):
+            raise ValueError(
+                f"Exchange rounds mismatched: {len(self.sends)} sends vs "
+                f"{len(self.recvs)} recvs (pad with None)"
+            )
 
 
 @dataclass

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.arraypool import ArrayPool
+
 
 # ----------------------------------------------------------------------
 # pointwise vector-multiply, eq. (4)
@@ -108,14 +110,14 @@ def blas_scal(alpha: float, x: np.ndarray) -> None:
 def blas_axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
     """daxpy: ``y += alpha * x`` without temporaries.
 
-    Aliasing contract: ``y`` (or ``x``) may overlap the module's cached
-    scratch buffer — e.g. an array obtained from a previous call's
-    workspace.  Writing ``alpha * x`` into the scratch would then clobber
-    ``y`` before the accumulate (the result silently came out as
+    Aliasing contract: ``y`` (or ``x``) may overlap the cached scratch
+    buffer — e.g. an array obtained from a previous call's workspace.
+    Writing ``alpha * x`` into the scratch would then clobber ``y``
+    before the accumulate (the result silently came out as
     ``2 * alpha * x``); such calls are detected with
     :func:`numpy.shares_memory` and served by a safe temporary instead.
     """
-    buf = _axpy_buf(x.shape, x.dtype)
+    buf = _AXPY_POOL.scratch(x.shape, x.dtype)
     if np.shares_memory(y, buf) or (x is not buf and np.shares_memory(x, buf)):
         y += alpha * x
         return
@@ -124,23 +126,12 @@ def blas_axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
     y += buf
 
 
-#: Scratch buffers keyed by (shape, dtype), most recently used last.
-#: Bounded at :data:`_AXPY_BUF_MAX` entries — it used to grow without
-#: limit, one buffer per (shape, dtype) ever seen.
-_AXPY_BUF: dict = {}
+#: Scratch buffers keyed by (shape, dtype), LRU-bounded at
+#: :data:`_AXPY_BUF_MAX` entries — this started life as a private dict
+#: here and is now an :class:`repro.util.ArrayPool` (PR 8 generalized it
+#: for subdomain scratch across the codebase).
 _AXPY_BUF_MAX = 8
-
-
-def _axpy_buf(shape, dtype) -> np.ndarray:
-    """Reusable scratch buffer keyed by (shape, dtype), LRU-bounded."""
-    key = (shape, np.dtype(dtype).str)
-    buf = _AXPY_BUF.pop(key, None)
-    if buf is None or buf.shape != shape:
-        buf = np.empty(shape, dtype=dtype)
-    _AXPY_BUF[key] = buf  # re-insert: most recently used moves last
-    while len(_AXPY_BUF) > _AXPY_BUF_MAX:
-        _AXPY_BUF.pop(next(iter(_AXPY_BUF)))
-    return buf
+_AXPY_POOL = ArrayPool(max_entries=_AXPY_BUF_MAX)
 
 
 def pointwise_flops(n: int) -> float:

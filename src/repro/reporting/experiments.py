@@ -830,6 +830,63 @@ def run_faults(
     )
 
 
+def run_bigmesh(
+    machine: MachineModel = T3D,
+    meshes: Sequence[Tuple[int, int]] = ((32, 40),),
+    napps: int = 1,
+    nlayers: int = 9,
+) -> ExperimentResult:
+    """Large-mesh smoke: load-balanced FFT filtering at 1000+ ranks.
+
+    Exercises the hot-path engine well beyond the paper's 240-node
+    production mesh: each mesh applies the ``fft-lb`` filter under the
+    fastpath, where the transpose all-to-alls run through the
+    scheduler's bulk group-synchronous executor.  All reported numbers
+    are deterministic virtual quantities (elapsed seconds, message and
+    byte totals), so the experiment doubles as a regression canary for
+    the 1280-rank acceptance criterion of the engine overhaul.
+    """
+    from repro.parallel import engine as _engine
+
+    cfg = make_config("2x2.5x9").with_(nlayers=nlayers)
+    grid = cfg.make_grid()
+    plan = make_filter_plan(grid)
+    table = Table(
+        f"Big-mesh smoke — fft-lb filtering at scale ({machine.name}, "
+        f"2 x 2.5 x {nlayers})",
+        ["node mesh", "ranks", "virtual s/app", "messages", "MB moved"],
+    )
+    rows = {}
+    for dims in meshes:
+        mesh = ProcessorMesh(*dims)
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        backend = prepare_filter_backend("fft-lb", plan, decomp)
+        with _engine.fastpath():
+            res = Simulator(mesh.size, machine).run(
+                _filter_once_program, decomp, backend, grid, nlayers, napps
+            )
+        messages = res.trace.total_messages()
+        nbytes = res.trace.total_bytes()
+        per_app = res.elapsed / napps
+        table.add_row(
+            mesh.describe(), mesh.size, per_app, messages,
+            f"{nbytes / 1e6:.1f}",
+        )
+        rows[dims] = {
+            "ranks": mesh.size,
+            "elapsed": res.elapsed,
+            "per_app": per_app,
+            "messages": messages,
+            "bytes": nbytes,
+        }
+    return ExperimentResult(
+        ident="bigmesh",
+        title="Large-mesh filtering smoke (bulk engine path)",
+        tables=[table],
+        data=rows,
+    )
+
+
 def run_guard(
     nsteps: int = 8,
     dims: Tuple[int, int] = (2, 2),
@@ -1131,6 +1188,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = _specs(
     ("pointwise", run_pointwise, "medium"),
     ("faults", run_faults, "medium"),
     ("guard", run_guard, "medium"),
+    ("bigmesh", run_bigmesh, "slow", _mesh_points(((32, 40),))),
 )
 
 

@@ -10,7 +10,7 @@ suitable for the CI container; production deployments raise
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.util.validation import check_positive_int
 
@@ -51,6 +51,31 @@ class ServeConfig:
     #: Record per-request observability spans (cheap; disable only for
     #: microbenchmarks of the gateway itself).
     spans: bool = True
+    #: Execute units under the engine fastpath (bit-identical results,
+    #: span/region bookkeeping inside the *simulated* runs skipped —
+    #: per-request gateway spans above are unaffected).
+    fast: bool = False
+
+    @classmethod
+    def from_options(cls, options: Any, **overrides) -> "ServeConfig":
+        """Build a config from a :class:`repro.options.RunOptions`.
+
+        Maps the shared knobs (``cache_dir``, ``results_db``, ``fast``,
+        ``workers`` -> ``pool_workers``); gateway-specific fields
+        (``host``, ``port``, ``queue_limit``, ...) come as keyword
+        overrides, which also win over the mapped values.
+        """
+        from repro.options import RunOptions
+
+        opts = RunOptions.coerce(options)
+        mapped = {
+            "cache_dir": opts.cache_dir,
+            "results_db": opts.results_db,
+            "fast": opts.fast,
+            "pool_workers": opts.workers,
+        }
+        mapped.update(overrides)
+        return cls(**mapped)
 
     def __post_init__(self) -> None:
         check_positive_int(self.queue_limit, "queue_limit")

@@ -1,6 +1,8 @@
-"""Shared utilities: validation, block partitioning, tables, seeded RNG."""
+"""Shared utilities: validation, block partitioning, tables, array pool."""
 
+from repro.util.arraypool import ArrayPool
 from repro.util.validation import (
+    check_chunk_count,
     check_positive_int,
     check_in_range,
     check_shape,
@@ -10,6 +12,8 @@ from repro.util.partition import block_partition, block_bounds, owner_of
 from repro.util.tables import Table, format_seconds
 
 __all__ = [
+    "ArrayPool",
+    "check_chunk_count",
     "check_positive_int",
     "check_in_range",
     "check_shape",

@@ -38,6 +38,29 @@ def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
     return value
 
 
+def check_chunk_count(chunks: Any, size: int, collective: str) -> Any:
+    """Check a collective got exactly one chunk per group member.
+
+    ``alltoall``-family collectives index ``chunks[d]`` for every group
+    rank ``d``; a short or unsized sequence used to surface as a deep
+    ``IndexError`` from inside the exchange schedule.  Returns ``chunks``.
+    """
+    if not hasattr(chunks, "__len__"):
+        raise TypeError(
+            f"{collective} needs a sized sequence with one chunk per group "
+            f"member (chunks[d] is the payload for group rank d), got "
+            f"{type(chunks).__name__}"
+        )
+    n = len(chunks)
+    require(
+        n == size,
+        f"{collective} requires exactly one chunk per group member: group "
+        f"size is {size}, got {n} chunk{'' if n == 1 else 's'} "
+        f"(chunks[d] is the payload destined for group rank d)",
+    )
+    return chunks
+
+
 def check_shape(array: Any, shape: Sequence[int], name: str) -> Any:
     """Check an array-like has exactly the given shape (use -1 as wildcard)."""
     actual = tuple(getattr(array, "shape", ()))

@@ -75,6 +75,14 @@ SERVE_MIN_COALESCE_RATE = 0.5
 SERVE_MIN_WARM_HIT_RATE = 0.9
 SERVE_MAX_WARM_HIT_P99_US = 200_000.0
 
+#: Absolute floor on the event-engine overhaul (wall-clock ratio, so
+#: floor-gated): the batched engine + fastpath must simulate the
+#: collective-heavy 240-rank probe at least this many times faster than
+#: the legacy per-message engine (PR 8 acceptance: >= 3x).  A ratio of
+#: two wall-clock times on the same host in the same process, so it is
+#: far more stable than either throughput number alone.
+SIM_MIN_EVENT_ENGINE_SPEEDUP = 3.0
+
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
                         "metrics", "tracked_ratios")
 
@@ -143,6 +151,10 @@ def collect_metrics() -> Dict[str, float]:
     from repro.serve.bench import serve_bench_metrics
 
     metrics.update(serve_bench_metrics())
+
+    from repro.perf.simbench import run_probe
+
+    metrics.update(run_probe())
     return {k: float(v) for k, v in metrics.items()}
 
 
@@ -220,6 +232,14 @@ def check_constraints(metrics: Dict[str, float]) -> List[str]:
             f"serve_failed_requests is {failed:g}; the seeded replay "
             f"must complete with zero failed requests and "
             f"bit-identical answers per key"
+        )
+    sim = metrics.get("sim_event_engine_speedup")
+    if sim is not None and sim < SIM_MIN_EVENT_ENGINE_SPEEDUP:
+        problems.append(
+            f"sim_event_engine_speedup {sim:.2f}x is below the "
+            f"{SIM_MIN_EVENT_ENGINE_SPEEDUP:g}x floor (batched engine + "
+            f"fastpath vs the legacy per-message engine on the 240-rank "
+            f"probe)"
         )
     return problems
 

@@ -876,6 +876,153 @@ def guard_buddy_recovery_pair() -> ImplementationPair:
 
 
 # ----------------------------------------------------------------------
+# 10. engine overhaul: batched vs legacy engine, fastpath vs instrumented
+# ----------------------------------------------------------------------
+
+def _engine_probe_program(ctx, data):
+    """Collective-heavy program touching every schedule the batched
+    engine treats specially: pairwise all-to-all (bulk group-synchronous
+    above the message threshold), ring allgather (chained ``FromRound``
+    payloads) and recursive-doubling allreduce (combining ``ACCUM``
+    payloads, always per-message)."""
+    from repro.parallel.collectives import allreduce_recursive_doubling
+
+    mine = data[ctx.rank]
+    gathered = yield from ctx.allgather(mine)
+    swapped = yield from ctx.alltoall([mine + d for d in range(ctx.size)])
+    total = yield from allreduce_recursive_doubling(ctx, float(mine.sum()))
+    return {
+        "allgather": np.stack(gathered),
+        "alltoall": np.stack(swapped),
+        "total": total,
+    }
+
+
+def _engine_observables(res) -> Dict[str, np.ndarray]:
+    """Everything the engines must agree on, bit for bit: every rank's
+    return values, final clocks, makespan, and the full per-rank
+    time/count accounting."""
+    p = len(res.returns)
+    acc = res.trace.ranks
+    return {
+        "allgather": np.stack(
+            [res.returns[r]["allgather"] for r in range(p)]
+        ),
+        "alltoall": np.stack([res.returns[r]["alltoall"] for r in range(p)]),
+        "totals": np.array([res.returns[r]["total"] for r in range(p)]),
+        "clocks": np.array(res.clocks),
+        "elapsed": np.array([res.elapsed]),
+        "send_busy": np.array([a.send_busy_time for a in acc]),
+        "recv_busy": np.array([a.recv_busy_time for a in acc]),
+        "recv_wait": np.array([a.recv_wait_time for a in acc]),
+        "counts": np.array(
+            [
+                [a.messages_sent, a.messages_received,
+                 a.bytes_sent, a.bytes_received]
+                for a in acc
+            ],
+            dtype=float,
+        ),
+    }
+
+
+def _engine_runner(legacy: bool):
+    from contextlib import nullcontext
+
+    from repro.parallel import engine as _engine
+
+    def run(config: Config, rng: np.random.Generator):
+        data = rng.standard_normal((config["p"], config["n"]))
+        ctxmgr = _engine.legacy_engine() if legacy else nullcontext()
+        with ctxmgr:
+            res = Simulator(config["p"], GENERIC).run(
+                _engine_probe_program, data
+            )
+        return _engine_observables(res)
+
+    return run
+
+
+def engine_batched_vs_loop_pair() -> ImplementationPair:
+    return ImplementationPair(
+        name="engine-batched-vs-loop",
+        # p reaches past 23 so some sampled configs push the pairwise
+        # all-to-all over the bulk group-synchronous threshold
+        # (p*(p-1) >= 512) while smaller ones take the per-exchange
+        # vectorized and scalar paths — all three must agree with the
+        # legacy engine exactly.
+        space=ParamSpace({"p": (2, 26), "n": (1, 24)}),
+        reference=_engine_runner(legacy=True),
+        candidate=_engine_runner(legacy=False),
+        atol=tolerances.EXACT,
+        rtol=0.0,
+        description="batched Exchange engine + cohort dispatch vs the "
+        "legacy per-message heap engine: returns, clocks and accounting "
+        "bit-for-bit",
+    )
+
+
+def _agcm_engine_runner(fast: bool):
+    from repro.parallel import engine as _engine
+
+    def run(config: Config, rng: np.random.Generator):
+        seed = int(rng.integers(2**31))
+        cfg = _agcm_config(config, seed)
+        mesh = ProcessorMesh(config["mi"], config["mj"])
+        decomp = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+        sim = Simulator(mesh.size, GENERIC)
+        if fast:
+            with _engine.fastpath():
+                res = sim.run(
+                    agcm_rank_program, cfg, decomp, config["nsteps"], True
+                )
+        else:
+            from repro.obs import Observer, activate
+
+            with activate(Observer()):
+                res = sim.run(
+                    agcm_rank_program, cfg, decomp, config["nsteps"], True
+                )
+        out = {
+            name: decomp.gather(
+                [res.returns[r]["fields"][name] for r in range(mesh.size)]
+            )
+            for name in ("u", "v", "pt", "ps", "q")
+        }
+        out["clocks"] = np.array(res.clocks)
+        out["elapsed"] = np.array([res.elapsed])
+        return out
+
+    return run
+
+
+def agcm_fastpath_vs_instrumented_pair() -> ImplementationPair:
+    return ImplementationPair(
+        name="agcm-fastpath-vs-instrumented",
+        space=ParamSpace(
+            {
+                "nlat": (12, 18),
+                "nlon": (16, 28),
+                "nlayers": (1, 3),
+                "mi": (1, 3),
+                "mj": (1, 3),
+                "nsteps": (3, 6),
+                "backend": (0, len(FILTER_BACKENDS) - 1),
+            },
+            constraint=lambda c: c["nlat"] >= 4 * c["mi"]
+            and c["nlon"] >= 4 * c["mj"],
+        ),
+        reference=_agcm_engine_runner(fast=False),
+        candidate=_agcm_engine_runner(fast=True),
+        atol=tolerances.EXACT,
+        rtol=0.0,
+        description="parallel AGCM under the engine fastpath vs the same "
+        "run fully instrumented (live observer): fields, clocks and "
+        "makespan bit-for-bit",
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -892,6 +1039,8 @@ def default_pairs() -> List[ImplementationPair]:
         filter_convolution_vs_fft_pair(),
         parallel_filter_vs_serial_pair(),
         agcm_serial_vs_parallel_pair(),
+        engine_batched_vs_loop_pair(),
+        agcm_fastpath_vs_instrumented_pair(),
         faulty_collectives_pair(),
         fault_recovery_agcm_pair(),
         guard_buddy_recovery_pair(),

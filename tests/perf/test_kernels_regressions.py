@@ -22,7 +22,7 @@ def _scratch_for(shape, dtype=float) -> np.ndarray:
     """The internal axpy scratch buffer for (shape, dtype), populated."""
     kernels.blas_axpy(1.0, np.ones(shape, dtype=dtype),
                       np.zeros(shape, dtype=dtype))
-    return kernels._AXPY_BUF[(shape, np.dtype(dtype).str)]
+    return kernels._AXPY_POOL.scratch(shape, dtype)
 
 
 class TestAxpyAliasing:
@@ -57,12 +57,12 @@ class TestAxpyAliasing:
     def test_scratch_pool_is_bounded(self):
         for n in range(3 * kernels._AXPY_BUF_MAX):
             kernels.blas_axpy(1.0, np.ones(n + 2), np.zeros(n + 2))
-        assert len(kernels._AXPY_BUF) <= kernels._AXPY_BUF_MAX
+        assert len(kernels._AXPY_POOL) <= kernels._AXPY_BUF_MAX
 
     def test_scratch_pool_reuses_hot_entry(self):
         buf = _scratch_for((9,))
         kernels.blas_axpy(1.0, np.ones(9), np.zeros(9))
-        assert kernels._AXPY_BUF[((9,), np.dtype(float).str)] is buf
+        assert kernels._AXPY_POOL.scratch((9,), float) is buf
 
 
 class TestPointwiseDtype:
