@@ -30,11 +30,21 @@ Usage::
                              [--obs|--no-obs] [--fast] [--no-cache]
                              [--report-out [PATH]] [--json-out [PATH]]
                              [--results] [--results-db [PATH]]
+                             [--fleet HOST:PORT,...] [--listen [HOST:PORT]]
+                             [--max-attempts N]
                                          # process-parallel sweep over
                                          # the registry with content-
                                          # addressed result caching
                                          # (--results-db records each
-                                         # unit in the cross-run index)
+                                         # unit in the cross-run index;
+                                         # --fleet/--listen dispatch to
+                                         # socket-transport workers with
+                                         # dead-host recovery)
+    python -m repro fleet worker --connect HOST:PORT
+                                 [--cache-dir [PATH]] [--name NAME]
+                                 [--chaos SPEC]
+                                         # one distributed campaign
+                                         # worker (see docs/fleet.md)
     python -m repro results ingest|query|runs|trajectory|prune ...
                                          # SQLite cross-run result
                                          # index: provenance-stamped
@@ -334,11 +344,34 @@ def _cmd_campaign(rest: list[str]) -> int:
     report_out: str | None = None
     json_out: str | None = None
     results_db: str | None = None
+    fleet: object = None
+    max_attempts: int | None = None
     want_report = want_json = show_results = False
     i = 0
     while i < len(rest):
         arg = rest[i]
-        if arg == "--workers":
+        if arg == "--fleet":
+            if i + 1 >= len(rest):
+                print("campaign: --fleet requires worker addresses "
+                      "(HOST:PORT[,HOST:PORT...])", file=sys.stderr)
+                return 2
+            fleet, i = rest[i + 1], i + 2
+        elif arg == "--listen":
+            value, i = _optional_value(rest, i)
+            fleet = f"listen:{value}" if value else "listen"
+        elif arg == "--max-attempts":
+            if i + 1 >= len(rest):
+                print("campaign: --max-attempts requires an integer",
+                      file=sys.stderr)
+                return 2
+            try:
+                max_attempts = int(rest[i + 1])
+            except ValueError:
+                print(f"campaign: --max-attempts expects an integer, got "
+                      f"{rest[i + 1]!r}", file=sys.stderr)
+                return 2
+            i += 2
+        elif arg == "--workers":
             if i + 1 >= len(rest):
                 print("campaign: --workers requires an integer",
                       file=sys.stderr)
@@ -410,7 +443,7 @@ def _cmd_campaign(rest: list[str]) -> int:
             options=RunOptions(
                 workers=workers, cache_dir=cache_dir, resume=resume,
                 obs=obs, use_cache=use_cache, results_db=results_db,
-                fast=fast,
+                fast=fast, fleet=fleet, max_attempts=max_attempts,
             ),
         )
     except (KeyError, ValueError) as exc:
@@ -434,9 +467,11 @@ def _cmd_campaign(rest: list[str]) -> int:
         print(f"units recorded in result index {results_db} "
               f"(query with `python -m repro results runs "
               f"--db {results_db}`)")
+    salvaged = f", {report.salvaged} salvaged" if report.salvaged else ""
     print(f"[campaign finished in {time.time() - start:.1f}s: "
-          f"{report.cache_hits} hit(s), {report.cache_misses} computed, "
-          f"{report.failures} failed]")
+          f"{report.cache_hits} hit(s), "
+          f"{report.cache_misses - report.salvaged} computed"
+          f"{salvaged}, {report.failures} failed]")
     return 1 if report.failures else 0
 
 
@@ -584,6 +619,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.results.cli import main as results_main
 
         return results_main(args[1:])
+    if args[0] == "fleet":
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(args[1:])
     if args[0] == "guard" and len(args) > 1:
         # Bare `guard` falls through to the registry experiment below;
         # with flags it becomes the configured demo + report writer.

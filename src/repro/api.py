@@ -236,6 +236,8 @@ def run_campaign(
     use_cache: Any = UNSET,
     results_db: Any = UNSET,
     fast: Any = UNSET,
+    fleet: Any = UNSET,
+    max_attempts: Any = UNSET,
 ):
     """Run a process-parallel, cache-backed campaign over the registry.
 
@@ -253,6 +255,13 @@ def run_campaign(
     additionally records every completed unit in the
     :mod:`repro.results` cross-run index (idempotent on the unit key).
 
+    ``fleet`` dispatches units to socket-transport workers instead of
+    the local pool (see :mod:`repro.fleet` and ``docs/fleet.md``): pass
+    a :class:`repro.fleet.FleetConfig`, ``"host:port,host:port"`` to
+    dial listening workers, ``"listen[:host:port]"`` to accept dialing
+    ones, or ``True``.  ``max_attempts`` caps re-dispatches of units
+    lost to dying workers before quarantine.
+
     Knobs travel in ``options=`` (a :class:`repro.options.RunOptions` or
     a dict); the per-knob keywords remain as deprecation shims.  A bad
     worker count dies here, at the facade, before the campaign machinery
@@ -266,13 +275,24 @@ def run_campaign(
                         workers=workers, cache_dir=cache_dir, resume=resume,
                         obs=obs, use_cache=use_cache, results_db=results_db,
                         fast=fast)
+    # fleet/max_attempts are first-class keywords (not legacy shims):
+    # accepted directly, conflict-checked against options=.
+    for name, value in (("fleet", fleet), ("max_attempts", max_attempts)):
+        if value is UNSET:
+            continue
+        if options is not None and getattr(opts, name) is not None:
+            raise ValueError(
+                f"repro.api.run_campaign: {name!r} was passed both in "
+                f"options= and as a keyword; set it once"
+            )
+        opts = opts.with_(**{name: value})
     from repro.campaign import run_campaign as _run_campaign
 
     return _run_campaign(
         experiments, sweep=sweep, workers=opts.workers,
         cache_dir=opts.cache_dir, resume=opts.resume, obs=bool(opts.obs),
         use_cache=opts.use_cache, results_db=opts.results_db,
-        fast=opts.fast,
+        fast=opts.fast, fleet=opts.fleet, max_attempts=opts.max_attempts,
     )
 
 

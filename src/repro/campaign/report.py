@@ -17,13 +17,17 @@ from repro.util.tables import Table
 
 __all__ = ["CampaignReport", "UnitOutcome"]
 
-#: Status values a unit can finish with.
-STATUSES = ("hit", "ran", "failed")
+#: Status values a unit can finish with.  ``salvaged`` is a fleet
+#: recovery: the unit was computed and cached by a worker that died
+#: before reporting it, and the coordinator recovered the cached result
+#: instead of recomputing.
+STATUSES = ("hit", "ran", "failed", "salvaged")
 
 
 @dataclass
 class UnitOutcome:
-    """How one unit ended: cache hit, freshly computed, or failed."""
+    """How one unit ended: cache hit, freshly computed, salvaged from a
+    dead worker's cache, or failed."""
 
     ident: str
     label: str
@@ -41,6 +45,12 @@ class UnitOutcome:
     result: Any = None
     #: Worker-local metrics snapshot (``MetricsRegistry.as_dict`` form).
     metrics: Optional[Dict[str, Dict[str, float]]] = None
+    #: Which dispatch attempt produced this outcome (1-based; > 1 means
+    #: the unit was re-queued after a worker death).
+    attempt: int = 1
+    #: Executing host attribution (``hostname:pid``) for fleet units;
+    #: None for local execution.
+    host: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -63,6 +73,9 @@ class CampaignReport:
     #: Merged metrics registry (campaign.* plus per-worker experiment
     #: metrics when the campaign ran observed).
     metrics: Any = None
+    #: Fleet dispatch summary (workers seen, recovery events, salvage
+    #: count, degradation flag); None for purely local campaigns.
+    fleet: Optional[Dict[str, Any]] = None
 
     # -- accounting -----------------------------------------------------
     @property
@@ -80,6 +93,15 @@ class CampaignReport:
     @property
     def failures(self) -> int:
         return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def salvaged(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "salvaged")
+
+    @property
+    def requeued(self) -> int:
+        """Units that needed more than one dispatch attempt."""
+        return sum(1 for o in self.outcomes if o.attempt > 1)
 
     @property
     def hit_rate(self) -> float:
@@ -123,6 +145,10 @@ class CampaignReport:
         t.add_row("cache misses", self.cache_misses)
         t.add_row("hit rate", f"{100 * self.hit_rate:.0f}%")
         t.add_row("failures", self.failures)
+        if self.salvaged:
+            t.add_row("salvaged", self.salvaged)
+        if self.requeued:
+            t.add_row("re-queued", self.requeued)
         t.add_row("wall seconds", f"{self.wall_seconds:.2f}")
         t.add_row("est. serial seconds", f"{self.serial_seconds:.2f}")
         t.add_row("speedup vs serial", f"{self.speedup_vs_serial:.2f}x")
@@ -130,6 +156,10 @@ class CampaignReport:
             t.add_row(f"worker {w} utilization", f"{100 * util:.0f}%")
         if self.resumed:
             t.add_row("resumed", "yes")
+        if self.fleet:
+            t.add_row("fleet workers", len(self.fleet.get("workers", {})))
+            if self.fleet.get("degraded"):
+                t.add_row("fleet degraded", "yes (finished locally)")
         return t
 
     def unit_table(self) -> Table:
@@ -138,11 +168,16 @@ class CampaignReport:
             ["unit", "status", "worker", "seconds", "note"],
         )
         for o in self.outcomes:
+            note = o.error or ""
+            if not note and o.host:
+                note = o.host
+            if o.attempt > 1:
+                note = f"attempt {o.attempt}" + (f"; {note}" if note else "")
             t.add_row(
                 o.label, o.status,
                 o.worker if o.worker >= 0 else "-",
                 f"{o.seconds:.3f}",
-                o.error or "",
+                note,
             )
         return t
 
@@ -167,6 +202,8 @@ class CampaignReport:
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
             "failures": self.failures,
+            "salvaged": self.salvaged,
+            "requeued": self.requeued,
             "wall_seconds": self.wall_seconds,
             "serial_seconds": self.serial_seconds,
             "speedup_vs_serial": self.speedup_vs_serial,
@@ -183,10 +220,14 @@ class CampaignReport:
                     "seconds": o.seconds,
                     "compute_seconds": o.compute_seconds,
                     "error": o.error,
+                    "attempt": o.attempt,
+                    "host": o.host,
                 }
                 for o in self.outcomes
             ],
         }
+        if self.fleet is not None:
+            doc["fleet"] = self.fleet
         if self.metrics is not None:
             doc["metrics"] = self.metrics.as_dict()
         return doc

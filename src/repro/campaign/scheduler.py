@@ -91,6 +91,8 @@ def _run_one(unit: CampaignUnit, worker: int,
         error = f"{type(exc).__name__}: {exc}"
     seconds = time.perf_counter() - t0
     if cache is not None and error is None:
+        import socket
+
         from repro.campaign.cache import canonical_params
 
         cache.put(
@@ -102,6 +104,7 @@ def _run_one(unit: CampaignUnit, worker: int,
                 "duration": seconds,
                 "version": __version__,
                 "worker": worker,
+                "host": f"{socket.gethostname()}:{os.getpid()}",
             },
         )
     return UnitOutcome(
@@ -157,6 +160,8 @@ def run_campaign(
     use_cache: bool = True,
     results_db: Optional[str] = None,
     fast: bool = False,
+    fleet=None,
+    max_attempts: Optional[int] = None,
 ) -> CampaignReport:
     """Run a campaign and return its merged :class:`CampaignReport`.
 
@@ -176,10 +181,32 @@ def run_campaign(
     runs every unit under the engine fastpath (bit-identical results,
     span bookkeeping skipped) — the flag travels to pool workers
     explicitly because fork does not carry the parent's contextvars.
+
+    ``fleet`` switches dispatch to socket-transport workers (see
+    :mod:`repro.fleet`): a :class:`~repro.fleet.FleetConfig`, an
+    address spec string (``"host:port,host:port"`` to dial listening
+    workers, ``"listen"``/``"listen:host:port"`` to accept dialing
+    ones) or True.  If no fleet worker is reachable within the connect
+    grace, the campaign degrades to the local pool with a warning
+    instead of hanging.  ``max_attempts`` caps how many times a unit
+    lost to a dying worker is re-dispatched before being quarantined as
+    poison (default: 1 for the local pool, the FleetConfig's cap —
+    normally 3 — for fleets).
     """
     if selectors is not None and sweep is not None:
         raise ValueError("pass either selectors or sweep=, not both")
     workers = check_positive_int(workers, "workers (campaign pool size)")
+    fleet_cfg = None
+    if fleet is not None:
+        from repro.fleet.config import FleetConfig
+
+        fleet_cfg = FleetConfig.coerce(fleet)
+        if fleet_cfg is not None and max_attempts is not None:
+            fleet_cfg = fleet_cfg.with_(
+                max_attempts=check_positive_int(
+                    max_attempts, "max_attempts (re-queue cap)"
+                )
+            )
     sweep_name = sweep
     if selectors is None:
         sweep_name = sweep or "smoke"
@@ -235,6 +262,40 @@ def run_campaign(
         pending.append(unit)
 
     pending = sort_for_schedule(pending)
+
+    fleet_info = None
+    if fleet_cfg is not None:
+        if pending:
+            from repro.fleet.coordinator import FleetCoordinator
+
+            coordinator = FleetCoordinator(fleet_cfg, cache,
+                                           observe=obs, fast=fast)
+            fleet_run = coordinator.run(pending)
+            if fleet_run is None:
+                if not fleet_cfg.local_fallback:
+                    raise RuntimeError(
+                        "fleet: no worker reachable within "
+                        f"{fleet_cfg.connect_grace}s and local_fallback "
+                        "is disabled"
+                    )
+                import warnings
+
+                warnings.warn(
+                    "fleet: no worker reachable within "
+                    f"{fleet_cfg.connect_grace}s; degrading to local "
+                    "execution",
+                    RuntimeWarning, stacklevel=2,
+                )
+            else:
+                outcomes.extend(fleet_run.outcomes)
+                fleet_info = fleet_run.summary()
+                pending = []
+        else:
+            # Fleet requested but every unit was a cache hit: nothing
+            # to dispatch, report an idle fleet for the accounting.
+            fleet_info = {"workers": {}, "events": [],
+                          "salvaged": 0, "degraded": False}
+
     nworkers = max(1, min(workers, len(pending))) if pending else 0
 
     if nworkers <= 1:
@@ -243,7 +304,8 @@ def run_campaign(
     else:
         outcomes.extend(
             _run_pool(pending, nworkers,
-                      cache_dir if cache is not None else None, obs, fast)
+                      cache_dir if cache is not None else None, obs, fast,
+                      max_attempts=max_attempts or 1)
         )
 
     wall = time.perf_counter() - t0
@@ -264,6 +326,7 @@ def run_campaign(
         outcomes=outcomes,
         cache_dir=cache_dir,
         resumed=resume,
+        fleet=fleet_info,
     )
     _campaign_metrics(report, [o.metrics for o in outcomes])
     return report
@@ -271,13 +334,83 @@ def run_campaign(
 
 def _run_pool(pending: Sequence[CampaignUnit], nworkers: int,
               cache_dir: Optional[str], obs: bool,
-              fast: bool = False) -> List[UnitOutcome]:
-    """Dispatch ``pending`` to a fresh worker pool; collect all outcomes.
+              fast: bool = False,
+              max_attempts: int = 1) -> List[UnitOutcome]:
+    """Dispatch ``pending`` to a worker pool; collect all outcomes.
 
-    Tolerates dying workers: if every worker has exited while outcomes
-    are still owed, the missing units are reported as failed instead of
-    hanging the parent.
+    Tolerates dying workers with the same accounting the fleet
+    coordinator uses (:class:`repro.fleet.requeue.AttemptTracker`): a
+    unit owed when the whole pool has exited is first probed against
+    the cache (a worker that cached the result before dying yields a
+    ``salvaged`` outcome, not a recompute), then re-dispatched on a
+    fresh pool up to ``max_attempts`` total attempts, and finally
+    quarantined as a poison failure — never allowed to hang the parent.
     """
+    from repro.fleet.requeue import AttemptTracker
+
+    tracker = AttemptTracker(max_attempts)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    outcomes: List[UnitOutcome] = []
+    remaining = list(pending)
+    while remaining:
+        for unit in remaining:
+            tracker.start(unit.key)
+        batch = _run_pool_once(
+            remaining, max(1, min(nworkers, len(remaining))),
+            cache_dir, obs, fast,
+        )
+        for outcome in batch:
+            outcome.attempt = tracker.attempts(outcome.key)
+        outcomes.extend(batch)
+        got = {o.key for o in batch}
+        missing = [u for u in remaining if u.key not in got]
+        if not missing:
+            break
+        remaining = []
+        for unit in missing:
+            tracker.record_loss(unit.key, "local-pool")
+            salvaged = _salvage_local(unit, cache, tracker)
+            if salvaged is not None:
+                outcomes.append(salvaged)
+            elif tracker.exhausted(unit.key):
+                outcomes.append(UnitOutcome(
+                    ident=unit.ident, label=unit.label, key=unit.key,
+                    status="failed", worker=-1, seconds=0.0,
+                    compute_seconds=0.0,
+                    error=tracker.quarantine_error(unit.key, unit.label),
+                    attempt=tracker.attempts(unit.key),
+                ))
+            else:
+                remaining.append(unit)
+    return outcomes
+
+
+def _salvage_local(unit: CampaignUnit, cache: Optional[ResultCache],
+                   tracker) -> Optional[UnitOutcome]:
+    """A dead pool worker's unit, recovered from the shared cache.
+
+    Cache-before-report means a worker killed between the cache write
+    and the result-queue put leaves the finished unit on disk; probing
+    for it turns a recompute into a ``salvaged`` outcome.
+    """
+    if cache is None or not cache.contains(unit.key):
+        return None
+    value = cache.get(unit.key)
+    if value is None:
+        return None
+    meta = cache.meta(unit.key)
+    return UnitOutcome(
+        ident=unit.ident, label=unit.label, key=unit.key,
+        status="salvaged", worker=-1, seconds=0.0,
+        compute_seconds=float(meta.get("duration", 0.0) or 0.0),
+        result=value, attempt=tracker.attempts(unit.key),
+    )
+
+
+def _run_pool_once(pending: Sequence[CampaignUnit], nworkers: int,
+                   cache_dir: Optional[str], obs: bool,
+                   fast: bool = False) -> List[UnitOutcome]:
+    """One pool generation: dispatch, collect until done or all dead."""
     ctx = _mp_context()
     task_q = ctx.Queue()
     result_q = ctx.Queue()
@@ -304,17 +437,7 @@ def _run_pool(pending: Sequence[CampaignUnit], nworkers: int,
                 outcomes.append(result_q.get(timeout=_POLL_SECONDS))
             except queue_mod.Empty:
                 if not any(p.is_alive() for p in procs):
-                    break
-        if len(outcomes) < len(pending):
-            done = {o.key for o in outcomes}
-            for unit in pending:
-                if unit.key not in done:
-                    outcomes.append(UnitOutcome(
-                        ident=unit.ident, label=unit.label, key=unit.key,
-                        status="failed", worker=-1, seconds=0.0,
-                        compute_seconds=0.0,
-                        error="worker died before completing this unit",
-                    ))
+                    break  # missing units are the caller's to recover
     finally:
         for p in procs:
             if p.is_alive():

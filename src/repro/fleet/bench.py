@@ -1,0 +1,86 @@
+"""Benchmark: what does surviving a dead worker cost?
+
+``fleet_recovery_overhead`` is the wall-clock ratio between two
+otherwise-identical 3-worker fleet campaigns over synthetic sleep units
+(calibrated, hardware-independent cost — the same probe the scheduler
+concurrency benchmark uses):
+
+* a **fault-free** run, and
+* a **chaos** run where one worker is killed after caching its second
+  unit (the cache-write/report gap, so exactly one unit must be
+  salvaged rather than recomputed).
+
+The gate holds the ratio under an absolute ceiling (1.5x, in
+``tools/bench_gate.py``): losing one of three workers may cost the
+re-balanced tail and one detection timeout, but never a rerun of the
+campaign.  ``fleet_salvaged_units`` is checked for exact equality with
+the expected count — the "completed work is never recomputed" claim in
+executable form.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from typing import Dict
+
+__all__ = ["fleet_bench_metrics"]
+
+#: Fleet size for both runs.
+NWORKERS = 3
+#: Synthetic unit count and per-unit sleep (total work = 4.8 s spread
+#: over 3 workers; long enough to dwarf detection latency, short enough
+#: for CI).
+NUNITS = 12
+UNIT_SECONDS = 0.4
+#: The chaos script: worker 0 dies after caching unit number 2, before
+#: reporting it — exactly one salvage expected.
+CHAOS = {0: "kill@2"}
+EXPECTED_SALVAGED = 1
+
+
+def _selectors() -> list:
+    return [f"sleep:{UNIT_SECONDS}#b{i}" for i in range(NUNITS)]
+
+
+def _run_once(chaos: Dict[int, str]) -> Dict[str, float]:
+    from repro.campaign import run_campaign
+    from repro.fleet.harness import LocalFleet
+
+    tmp = tempfile.mkdtemp(prefix="repro-fleet-bench-")
+    try:
+        with LocalFleet(nworkers=NWORKERS, cache_dir=tmp,
+                        chaos=chaos) as fleet:
+            t0 = time.perf_counter()
+            report = run_campaign(
+                _selectors(), fleet=fleet.config, cache_dir=tmp,
+            )
+            elapsed = time.perf_counter() - t0
+        fleet_info = report.fleet or {}
+        return {
+            "seconds": elapsed,
+            "salvaged": float(fleet_info.get("salvaged", 0)),
+            "failures": float(report.failures),
+            "units": float(report.units_total),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def fleet_bench_metrics() -> Dict[str, float]:
+    """The ``fleet_recovery_overhead`` metric family for BENCH_agcm."""
+    clean = _run_once({})
+    chaotic = _run_once(CHAOS)
+    ratio = (chaotic["seconds"] / clean["seconds"]
+             if clean["seconds"] > 0 else float("inf"))
+    return {
+        "fleet_workers": float(NWORKERS),
+        "fleet_units": clean["units"],
+        "fleet_faultfree_seconds": round(clean["seconds"], 3),
+        "fleet_chaos_seconds": round(chaotic["seconds"], 3),
+        "fleet_recovery_overhead": round(ratio, 3),
+        "fleet_salvaged_units": chaotic["salvaged"],
+        "fleet_expected_salvaged": float(EXPECTED_SALVAGED),
+        "fleet_chaos_failures": chaotic["failures"],
+    }

@@ -1,0 +1,154 @@
+"""Deterministic, seeded chaos harness for fleet workers.
+
+A :class:`ChaosPlan` decides *in advance* — as a pure function of the
+plan's contents — when a worker misbehaves and how, exactly like
+:mod:`repro.faults` decides link drops: no global RNG, no wall clock,
+every decision a CRC-32 hash of ``(seed, worker name, boundary)``.  Two
+runs with equal plans fail identically, which is what lets the chaos
+matrix assert bit-identical merged results against a fault-free serial
+run.
+
+Actions fire at *unit boundaries*: after the worker has written unit
+number ``boundary`` (1-based, counted per worker) to its result cache,
+and **before** it reports the outcome to the coordinator.  That is the
+nastiest window — the work is done and durable, but the coordinator
+does not know — and therefore the window the salvage machinery exists
+for.
+
+Actions:
+
+``kill``
+    the worker process exits immediately (``os._exit``), heartbeats and
+    all — a crashed host;
+``hang``
+    the worker freezes: heartbeats stop, the unit is never reported,
+    the process lingers — a wedged host (detected only by heartbeat
+    silence);
+``disconnect``
+    the worker drops its TCP connection without reporting, then
+    reconnects with its usual backoff — a network partition that heals.
+
+Plans serialize to a compact spec string (``"kill@2"``,
+``"disconnect@1,hang@3"``, ``"seed=7:p=0.1"``) so a worker subprocess
+can receive its script through ``--chaos`` on the command line.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ChaosEvent", "ChaosPlan", "ACTIONS"]
+
+ACTIONS = ("kill", "hang", "disconnect")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted failure: ``action`` at worker-local ``boundary``."""
+
+    action: str
+    boundary: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+        if self.boundary < 1:
+            raise ValueError(
+                f"chaos boundary must be >= 1 (boundaries are 1-based "
+                f"completed-unit counts), got {self.boundary}"
+            )
+
+
+def _crc_unit(seed: int, name: str, boundary: int) -> float:
+    """Uniform [0, 1) decision value, pure in (seed, name, boundary)."""
+    blob = struct.pack(">q", seed) + name.encode("utf-8") + struct.pack(
+        ">q", boundary
+    )
+    return (zlib.crc32(blob) & 0xFFFFFFFF) / 2.0 ** 32
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Scripted events plus an optional seeded random failure rate.
+
+    Scripted :class:`ChaosEvent` entries fire exactly at their boundary.
+    With ``probability > 0``, every other boundary additionally draws a
+    CRC-decision in [0, 1): below the probability, the action is picked
+    from :data:`ACTIONS` by a second CRC — fully reproducible from
+    ``(seed, worker name, boundary)``.
+    """
+
+    events: Tuple[ChaosEvent, ...] = ()
+    seed: int = 0
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"chaos probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+
+    def decide(self, worker_name: str, boundary: int) -> Optional[str]:
+        """The action firing for ``worker_name`` at ``boundary``, if any."""
+        for event in self.events:
+            if event.boundary == boundary:
+                return event.action
+        if self.probability > 0.0:
+            draw = _crc_unit(self.seed, worker_name, boundary)
+            if draw < self.probability:
+                pick = _crc_unit(self.seed + 1, worker_name, boundary)
+                return ACTIONS[int(pick * len(ACTIONS))]
+        return None
+
+    # -- spec string (for --chaos on the worker command line) -----------
+    def spec(self) -> str:
+        parts = [f"{e.action}@{e.boundary}" for e in self.events]
+        if self.probability > 0.0:
+            parts.append(f"seed={self.seed}:p={self.probability}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "ChaosPlan":
+        """Parse a spec string (inverse of :meth:`spec`).
+
+        An empty/None spec is the no-chaos plan.
+        """
+        if not spec:
+            return cls()
+        events = []
+        seed = 0
+        probability = 0.0
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part.startswith("seed="):
+                body = part[len("seed="):]
+                seed_s, sep, p_s = body.partition(":p=")
+                try:
+                    seed = int(seed_s)
+                    probability = float(p_s) if sep else probability
+                except ValueError:
+                    raise ValueError(
+                        f"bad chaos spec {part!r}: expected "
+                        f"'seed=<int>[:p=<float>]'"
+                    ) from None
+                continue
+            action, sep, boundary = part.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad chaos spec {part!r}: expected 'ACTION@BOUNDARY' "
+                    f"(e.g. 'kill@2') with ACTION one of {ACTIONS}"
+                )
+            try:
+                events.append(ChaosEvent(action, int(boundary)))
+            except ValueError as exc:
+                raise ValueError(f"bad chaos spec {part!r}: {exc}") from None
+        return cls(events=tuple(events), seed=seed, probability=probability)

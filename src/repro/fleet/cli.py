@@ -1,0 +1,150 @@
+"""``python -m repro fleet ...``: worker processes and transport tools.
+
+Subcommands::
+
+    fleet worker --connect HOST:PORT [--cache-dir [PATH]] [--name NAME]
+                 [--chaos SPEC] [--retries N]
+    fleet worker --listen HOST:PORT ...
+        One execution worker.  ``--connect`` dials the campaign
+        coordinator (retrying with backoff, so start order does not
+        matter); ``--listen`` waits to be dialed (the coordinator side
+        then uses ``campaign --fleet HOST:PORT``).  ``--chaos`` injects
+        scripted failures ("kill@2", "disconnect@1,hang@3",
+        "seed=7:p=0.05") for resilience testing.
+
+    fleet echo --listen HOST:PORT [--once]
+        A frame echo server: accepts connections and reflects every
+        frame back verbatim.  Exists for the two-process codec test
+        (and as a quick connectivity probe: anything the echo returns
+        survived a real encode/decode round trip over TCP).
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+
+from repro.fleet.frames import (
+    DEFAULT_MAX_BYTES,
+    FrameError,
+    read_frame,
+    send_frame,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_worker(rest: list) -> int:
+    from repro.fleet.worker import CONNECT_ATTEMPTS, run_worker
+
+    connect = listen = cache_dir = name = chaos = None
+    retries = CONNECT_ATTEMPTS
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg in ("--connect", "--listen", "--name", "--chaos",
+                   "--cache-dir", "--retries"):
+            if i + 1 >= len(rest):
+                print(f"fleet worker: {arg} requires a value",
+                      file=sys.stderr)
+                return 2
+            value = rest[i + 1]
+            i += 2
+            if arg == "--connect":
+                connect = value
+            elif arg == "--listen":
+                listen = value
+            elif arg == "--name":
+                name = value
+            elif arg == "--chaos":
+                chaos = value
+            elif arg == "--cache-dir":
+                cache_dir = value
+            else:
+                try:
+                    retries = int(value)
+                except ValueError:
+                    print(f"fleet worker: --retries expects an integer, "
+                          f"got {value!r}", file=sys.stderr)
+                    return 2
+        else:
+            print(f"fleet worker: unknown option {arg!r}", file=sys.stderr)
+            return 2
+    try:
+        return run_worker(connect=connect, listen=listen,
+                          cache_dir=cache_dir, name=name, chaos=chaos,
+                          connect_attempts=retries)
+    except ValueError as exc:
+        print(f"fleet worker: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_echo(rest: list) -> int:
+    from repro.fleet.config import parse_address
+
+    listen = None
+    once = False
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg == "--listen":
+            if i + 1 >= len(rest):
+                print("fleet echo: --listen requires HOST:PORT",
+                      file=sys.stderr)
+                return 2
+            listen, i = rest[i + 1], i + 2
+        elif arg == "--once":
+            once = True
+            i += 1
+        else:
+            print(f"fleet echo: unknown option {arg!r}", file=sys.stderr)
+            return 2
+    if listen is None:
+        print("fleet echo: --listen HOST:PORT is required", file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_address(listen)
+    except ValueError as exc:
+        print(f"fleet echo: {exc}", file=sys.stderr)
+        return 2
+    server = socket.create_server((host, port))
+    bound = server.getsockname()
+    print(f"echo listening on {bound[0]}:{bound[1]}", flush=True)
+    try:
+        while True:
+            sock, _peer = server.accept()
+            try:
+                while True:
+                    kind, payload = read_frame(
+                        sock, max_bytes=DEFAULT_MAX_BYTES, timeout=30.0
+                    )
+                    send_frame(sock, kind, payload)
+            except (EOFError, FrameError, OSError):
+                pass
+            finally:
+                sock.close()
+            if once:
+                return 0
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        server.close()
+
+
+def main(rest: list) -> int:
+    if not rest or rest[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if rest[0] == "worker":
+        return _cmd_worker(rest[1:])
+    if rest[0] == "echo":
+        return _cmd_echo(rest[1:])
+    print(f"fleet: unknown subcommand {rest[0]!r} "
+          f"(expected 'worker' or 'echo')", file=sys.stderr)
+    return 2

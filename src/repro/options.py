@@ -83,6 +83,14 @@ class RunOptions:
     resume: bool = False
     #: Replay cached campaign units instead of recomputing them.
     use_cache: bool = True
+    #: Distributed campaign dispatch (:mod:`repro.fleet`): a
+    #: :class:`~repro.fleet.FleetConfig`, an address spec string
+    #: (``"host:port,..."`` or ``"listen[:host:port]"``), or ``True``
+    #: for the default listen address.  ``None`` keeps the local pool.
+    fleet: Any = None
+    #: Re-queue attempt cap for units lost to dying workers; ``None``
+    #: means the path default (1 local, the FleetConfig cap for fleets).
+    max_attempts: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from datetime import datetime, timezone
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -45,6 +46,14 @@ DEFAULT_DB = ".repro-results.db"
 #: Seconds a writer waits on the database lock before giving up; campaign
 #: workers and a serving gateway may share one index file.
 _BUSY_TIMEOUT = 30.0
+
+#: Bounded retry schedule (seconds) for ``database is locked`` errors
+#: that surface *despite* the busy timeout — sqlite raises immediately,
+#: without waiting, when a lock upgrade would deadlock two writers
+#: mid-transaction.  A handful of short sleeps resolves the common
+#: campaign-coordinator-vs-gateway collision; anything that survives
+#: the whole schedule is a real problem and propagates.
+_LOCK_RETRIES = (0.05, 0.1, 0.25, 0.5, 1.0)
 
 #: Sources a run row can come from.
 SOURCES = ("campaign", "serve", "bench", "api")
@@ -62,7 +71,8 @@ CREATE TABLE IF NOT EXISTS runs (
     git_sha     TEXT,
     created_at  TEXT,
     ingested_at TEXT NOT NULL,
-    hits        INTEGER NOT NULL DEFAULT 0
+    hits        INTEGER NOT NULL DEFAULT 0,
+    host        TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_ident ON runs (ident);
 CREATE INDEX IF NOT EXISTS runs_source ON runs (source);
@@ -87,6 +97,18 @@ def _utcnow() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
+def _retry_locked(fn):
+    """Call ``fn`` retrying over :data:`_LOCK_RETRIES` on lock errors."""
+    for delay in _LOCK_RETRIES:
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            if "database is locked" not in str(exc):
+                raise
+            time.sleep(delay)
+    return fn()  # last try: let a persistent lock propagate
+
+
 class ResultsDB:
     """One read-write handle on a result index file.
 
@@ -98,8 +120,32 @@ class ResultsDB:
         self.path = str(path)
         self._conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT)
         self._conn.execute("PRAGMA foreign_keys = ON")
-        self._conn.executescript(_SCHEMA)
+        # WAL lets readers (the query CLI, a serving gateway) proceed
+        # while a campaign writes, and busy_timeout makes the remaining
+        # writer-vs-writer collisions wait instead of raising.  WAL can
+        # be refused (read-only media, some network filesystems) — the
+        # index still works, just with the old locking.
+        try:
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        except sqlite3.OperationalError:
+            pass
+        self._conn.execute(
+            f"PRAGMA busy_timeout = {int(_BUSY_TIMEOUT * 1000)}"
+        )
+        _retry_locked(lambda: self._conn.executescript(_SCHEMA))
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Additive schema upgrades for indexes created by older code."""
+        columns = {row[1] for row in
+                   self._conn.execute("PRAGMA table_info(runs)")}
+        if "host" not in columns:
+            # Fleet campaigns attribute each unit to the worker host
+            # (hostname:pid) that executed it.
+            _retry_locked(lambda: self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN host TEXT"
+            ))
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -126,6 +172,7 @@ class ResultsDB:
         created_at: Optional[str] = None,
         metrics: Optional[Dict[str, Any]] = None,
         artifacts: Iterable[Tuple[str, Optional[str], Optional[int]]] = (),
+        host: Optional[str] = None,
     ) -> bool:
         """Insert one run (plus metric/artifact rows); True if new.
 
@@ -143,15 +190,15 @@ class ResultsDB:
             params if params is not None else {},
             sort_keys=True, separators=(",", ":"), default=str,
         )
-        cur = self._conn.execute(
+        cur = _retry_locked(lambda: self._conn.execute(
             "INSERT OR IGNORE INTO runs (run_key, source, ident, point, "
             "params_json, cache_key, status, git_sha, created_at, "
-            "ingested_at) VALUES (?,?,?,?,?,?,?,?,?,?)",
+            "ingested_at, host) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
             (run_key, source, ident, point, params_json, cache_key,
-             status, git_sha, created_at, _utcnow()),
-        )
+             status, git_sha, created_at, _utcnow(), host),
+        ))
         if cur.rowcount == 0:
-            self._conn.commit()
+            _retry_locked(self._conn.commit)
             return False
         run_id = cur.lastrowid
         for name, value in (metrics or {}).items():
@@ -169,24 +216,24 @@ class ResultsDB:
                 "bytes) VALUES (?,?,?,?)",
                 (run_id, path, sha256, nbytes),
             )
-        self._conn.commit()
+        _retry_locked(self._conn.commit)
         return True
 
     def record_hit(self, run_key: str) -> bool:
         """Bump the cache-hit counter of an indexed run; True if found."""
-        cur = self._conn.execute(
+        cur = _retry_locked(lambda: self._conn.execute(
             "UPDATE runs SET hits = hits + 1 WHERE run_key = ?", (run_key,)
-        )
-        self._conn.commit()
+        ))
+        _retry_locked(self._conn.commit)
         return cur.rowcount > 0
 
     def mark_ran(self, run_key: str) -> None:
         """Upgrade a previously-failed run that has now succeeded."""
-        self._conn.execute(
+        _retry_locked(lambda: self._conn.execute(
             "UPDATE runs SET status = 'ran' WHERE run_key = ? "
             "AND status = 'failed'", (run_key,)
-        )
-        self._conn.commit()
+        ))
+        _retry_locked(self._conn.commit)
 
     # -- reading --------------------------------------------------------
     def query(self, sql: str, params: Sequence[Any] = ()

@@ -57,11 +57,12 @@ def record_campaign_outcomes(db_path: str, outcomes: Iterable,
                              git_sha: Optional[str] = None) -> None:
     """Record a campaign's per-unit outcomes into the index.
 
-    ``ran`` inserts a row (and upgrades an earlier ``failed`` row for
-    the same key), ``failed`` inserts a failed row, ``hit`` bumps the
-    hit counter — inserting the row first from the cache sidecar when
-    the cache predates the index.  All inserts are idempotent on the
-    unit's sha256 key.
+    ``ran`` (and fleet ``salvaged``) inserts a row — with worker-host
+    attribution when the unit executed on a fleet worker — and upgrades
+    an earlier ``failed`` row for the same key; ``failed`` inserts a
+    failed row; ``hit`` bumps the hit counter — inserting the row first
+    from the cache sidecar when the cache predates the index.  All
+    inserts are idempotent on the unit's sha256 key.
     """
     sha = current_git_sha() if git_sha is None else (git_sha or None)
     with ResultsDB(db_path) as db:
@@ -69,6 +70,7 @@ def record_campaign_outcomes(db_path: str, outcomes: Iterable,
             point = _split_label(o.ident, o.label)
             meta = _sidecar(cache, o.key)
             params = meta.get("params", {"point": point})
+            host = getattr(o, "host", None) or meta.get("host")
             if o.status == "hit":
                 if not db.record_hit(o.key):
                     db.record_run(
@@ -87,8 +89,12 @@ def record_campaign_outcomes(db_path: str, outcomes: Iterable,
                     point=point, params=params, cache_key=o.key,
                     status="failed", git_sha=sha, created_at=_utcnow(),
                     metrics={"duration_seconds": (o.seconds, "s")},
+                    host=host,
                 )
             else:
+                # "ran" on any worker, or "salvaged" from a dead one:
+                # either way the unit executed exactly once and its
+                # payload is in the cache.
                 db.record_run(
                     run_key=o.key, source="campaign", ident=o.ident,
                     point=point, params=params, cache_key=o.key,
@@ -96,6 +102,7 @@ def record_campaign_outcomes(db_path: str, outcomes: Iterable,
                     created_at=meta.get("created_at") or _utcnow(),
                     metrics={"duration_seconds": (o.compute_seconds, "s")},
                     artifacts=_artifact_rows(cache, o.key, meta),
+                    host=host,
                 )
                 db.mark_ran(o.key)
 

@@ -75,6 +75,17 @@ SERVE_MIN_COALESCE_RATE = 0.5
 SERVE_MIN_WARM_HIT_RATE = 0.9
 SERVE_MAX_WARM_HIT_P99_US = 200_000.0
 
+#: Absolute ceiling on fleet fault recovery (wall-clock ratio, so
+#: floor/ceiling-gated like the campaign numbers): a 3-worker fleet
+#: campaign that loses one worker mid-run (kill at its second unit)
+#: must finish within this factor of the fault-free fleet run — dead-
+#: host detection, re-queue and salvage must overlap with the surviving
+#: workers' compute, not serialize behind it.  The salvage count is an
+#: exact-accounting constraint: the chaos worker caches exactly one
+#: unit it never reports, and that unit must come back ``salvaged``
+#: (recovered from disk), never recomputed.
+FLEET_MAX_RECOVERY_OVERHEAD = 1.5
+
 #: Absolute floor on the event-engine overhaul (wall-clock ratio, so
 #: floor-gated): the batched engine + fastpath must simulate the
 #: collective-heavy 240-rank probe at least this many times faster than
@@ -151,6 +162,10 @@ def collect_metrics() -> Dict[str, float]:
     from repro.serve.bench import serve_bench_metrics
 
     metrics.update(serve_bench_metrics())
+
+    from repro.fleet.bench import fleet_bench_metrics
+
+    metrics.update(fleet_bench_metrics())
 
     from repro.perf.simbench import run_probe
 
@@ -232,6 +247,30 @@ def check_constraints(metrics: Dict[str, float]) -> List[str]:
             f"serve_failed_requests is {failed:g}; the seeded replay "
             f"must complete with zero failed requests and "
             f"bit-identical answers per key"
+        )
+    overhead = metrics.get("fleet_recovery_overhead")
+    if overhead is not None and overhead > FLEET_MAX_RECOVERY_OVERHEAD:
+        problems.append(
+            f"fleet_recovery_overhead {overhead:.2f}x exceeds the "
+            f"{FLEET_MAX_RECOVERY_OVERHEAD:g}x ceiling — losing one of "
+            f"three workers mid-campaign must not serialize recovery "
+            f"behind the surviving workers' compute"
+        )
+    salvaged = metrics.get("fleet_salvaged_units")
+    expected = metrics.get("fleet_expected_salvaged")
+    if salvaged is not None and expected is not None \
+            and salvaged != expected:
+        problems.append(
+            f"fleet_salvaged_units is {salvaged:g}, expected {expected:g}"
+            f" — the chaos worker's cached-but-unreported unit must be "
+            f"salvaged from disk, never recomputed"
+        )
+    fleet_failed = metrics.get("fleet_chaos_failures")
+    if fleet_failed is not None and fleet_failed != 0.0:
+        problems.append(
+            f"fleet_chaos_failures is {fleet_failed:g}; every unit of "
+            f"the chaos campaign must complete (re-queue or salvage), "
+            f"none may fail"
         )
     sim = metrics.get("sim_event_engine_speedup")
     if sim is not None and sim < SIM_MIN_EVENT_ENGINE_SPEEDUP:

@@ -15,7 +15,9 @@ over seeded randomized configurations:
   replay invariants (Tables 1-3);
 * the serial AGCM vs the SPMD parallel AGCM state evolution (Tables 4-7);
 * single-node kernel rewrites: pointwise vector-multiply variants,
-  advection loop variants, block vs separate array access streams.
+  advection loop variants, block vs separate array access streams;
+* a distributed fleet campaign with one worker killed, hung or
+  disconnected mid-run vs the fault-free serial execution.
 
 Run them all with ``pytest -m differential`` or
 ``python -m repro.verify.differential``.
@@ -1023,6 +1025,62 @@ def agcm_fastpath_vs_instrumented_pair() -> ImplementationPair:
 
 
 # ----------------------------------------------------------------------
+# 11. fleet: chaos campaign vs fault-free serial execution
+# ----------------------------------------------------------------------
+
+_FLEET_ACTIONS = ("kill", "hang", "disconnect")
+
+
+def _fleet_selectors(config: Config) -> List[str]:
+    return [f"sleep:0.1#diff{i}" for i in range(config["nunits"])]
+
+
+def _fleet_chaos_reference(config: Config, rng: np.random.Generator):
+    from repro.campaign import run_campaign
+
+    report = run_campaign(_fleet_selectors(config))
+    return {label: value for label, value in report.results().items()}
+
+
+def _fleet_chaos_candidate(config: Config, rng: np.random.Generator):
+    import tempfile
+
+    from repro.campaign import run_campaign
+    from repro.fleet.harness import LocalFleet
+
+    action = _FLEET_ACTIONS[config["action"]]
+    with tempfile.TemporaryDirectory() as td:
+        with LocalFleet(
+            nworkers=3, cache_dir=td,
+            chaos={0: f"{action}@{config['boundary']}"},
+        ) as fleet:
+            report = run_campaign(
+                _fleet_selectors(config), fleet=fleet.config, cache_dir=td
+            )
+    if report.failures:
+        raise AssertionError(
+            f"chaos campaign had {report.failures} failure(s)"
+        )
+    return {label: value for label, value in report.results().items()}
+
+
+def fleet_chaos_vs_serial_pair() -> ImplementationPair:
+    return ImplementationPair(
+        name="fleet-chaos-vs-serial",
+        space=ParamSpace(
+            {"nunits": (4, 8), "boundary": (1, 2), "action": (0, 2)},
+        ),
+        reference=_fleet_chaos_reference,
+        candidate=_fleet_chaos_candidate,
+        atol=tolerances.EXACT,
+        rtol=0.0,
+        description="fleet campaign with one worker killed/hung/"
+        "disconnected mid-run vs the fault-free serial run: merged "
+        "results bit-for-bit, zero failed units",
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -1044,6 +1102,7 @@ def default_pairs() -> List[ImplementationPair]:
         faulty_collectives_pair(),
         fault_recovery_agcm_pair(),
         guard_buddy_recovery_pair(),
+        fleet_chaos_vs_serial_pair(),
     ]
 
 

@@ -1,0 +1,82 @@
+"""Chaos plans are deterministic and survive the spec round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.chaos import ACTIONS, ChaosEvent, ChaosPlan
+
+
+class TestScriptedEvents:
+    def test_fires_exactly_at_boundary(self):
+        plan = ChaosPlan(events=(ChaosEvent("kill", 2),))
+        assert plan.decide("w0", 1) is None
+        assert plan.decide("w0", 2) == "kill"
+        assert plan.decide("w0", 3) is None
+
+    def test_scripted_event_ignores_worker_name(self):
+        plan = ChaosPlan(events=(ChaosEvent("hang", 1),))
+        assert plan.decide("a", 1) == "hang"
+        assert plan.decide("b", 1) == "hang"
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosEvent("explode", 1)
+
+    def test_boundary_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ChaosEvent("kill", 0)
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ChaosPlan(probability=1.5)
+
+
+class TestSeededDraws:
+    def test_decisions_are_pure_in_seed_name_boundary(self):
+        plan = ChaosPlan(seed=7, probability=0.3)
+        first = [plan.decide("w1", b) for b in range(1, 50)]
+        again = [plan.decide("w1", b) for b in range(1, 50)]
+        assert first == again
+        # An equal plan built independently decides identically.
+        clone = ChaosPlan.parse(plan.spec())
+        assert [clone.decide("w1", b) for b in range(1, 50)] == first
+
+    def test_different_workers_draw_independently(self):
+        plan = ChaosPlan(seed=7, probability=0.5)
+        a = [plan.decide("w1", b) for b in range(1, 100)]
+        b = [plan.decide("w2", b) for b in range(1, 100)]
+        assert a != b
+
+    def test_drawn_actions_are_registered(self):
+        plan = ChaosPlan(seed=3, probability=1.0)
+        for boundary in range(1, 30):
+            assert plan.decide("w", boundary) in ACTIONS
+
+    def test_zero_probability_never_fires(self):
+        plan = ChaosPlan(seed=3)
+        assert all(plan.decide("w", b) is None for b in range(1, 100))
+
+
+class TestSpecStrings:
+    @pytest.mark.parametrize("spec", [
+        "kill@2",
+        "disconnect@1,hang@3",
+        "seed=7:p=0.1",
+        "kill@4,seed=12:p=0.25",
+        "",
+    ])
+    def test_round_trip(self, spec):
+        plan = ChaosPlan.parse(spec)
+        assert ChaosPlan.parse(plan.spec()) == plan
+
+    def test_none_is_no_chaos(self):
+        assert ChaosPlan.parse(None) == ChaosPlan()
+
+    def test_bad_spec_names_expected_form(self):
+        with pytest.raises(ValueError, match="ACTION@BOUNDARY"):
+            ChaosPlan.parse("kill")
+        with pytest.raises(ValueError, match="seed=<int>"):
+            ChaosPlan.parse("seed=banana")
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosPlan.parse("explode@1")

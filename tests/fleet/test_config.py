@@ -1,0 +1,85 @@
+"""FleetConfig parsing, validation, and the dial backoff schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.config import DEFAULT_LISTEN, FleetConfig, parse_address
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7900") == ("127.0.0.1", 7900)
+
+    def test_port_zero_allowed(self):
+        assert parse_address("0.0.0.0:0") == ("0.0.0.0", 0)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":80", "h:notaport",
+                                     "h:70000"])
+    def test_bad_addresses_are_actionable(self, bad):
+        with pytest.raises(ValueError, match="bad fleet address"):
+            parse_address(bad)
+
+
+class TestCoerce:
+    def test_none_false_empty_disable(self):
+        assert FleetConfig.coerce(None) is None
+        assert FleetConfig.coerce(False) is None
+        assert FleetConfig.coerce("") is None
+
+    def test_true_listens_on_default(self):
+        cfg = FleetConfig.coerce(True)
+        assert cfg.listen == DEFAULT_LISTEN
+
+    def test_address_list_dials_workers(self):
+        cfg = FleetConfig.coerce("10.0.0.1:7900, 10.0.0.2:7900")
+        assert cfg.workers == ("10.0.0.1:7900", "10.0.0.2:7900")
+        assert cfg.listen is None
+
+    def test_sequence_spelling(self):
+        cfg = FleetConfig.coerce(["h1:1", "h2:2"])
+        assert cfg.workers == ("h1:1", "h2:2")
+
+    def test_listen_spellings(self):
+        assert FleetConfig.coerce("listen").listen == DEFAULT_LISTEN
+        assert FleetConfig.coerce("listen:0.0.0.0:7901").listen \
+            == "0.0.0.0:7901"
+
+    def test_config_passes_through(self):
+        cfg = FleetConfig(listen="127.0.0.1:0")
+        assert FleetConfig.coerce(cfg) is cfg
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="fleet must be"):
+            FleetConfig.coerce(3.14)
+
+
+class TestValidation:
+    def test_needs_an_endpoint(self):
+        with pytest.raises(ValueError, match="got neither"):
+            FleetConfig()
+
+    def test_timeout_must_exceed_interval(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            FleetConfig(listen="127.0.0.1:0",
+                        heartbeat_interval=1.0, heartbeat_timeout=0.5)
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            FleetConfig(listen="127.0.0.1:0", max_attempts=0)
+
+    def test_bad_worker_address_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="bad fleet address"):
+            FleetConfig(workers=("nonsense",))
+
+
+class TestBackoff:
+    def test_delays_grow_then_cap(self):
+        cfg = FleetConfig(listen="127.0.0.1:0", reconnect_base=0.2,
+                          reconnect_factor=2.0, reconnect_max=1.0,
+                          reconnect_attempts=5)
+        assert cfg.backoff_delays() == (0.2, 0.4, 0.8, 1.0, 1.0)
+
+    def test_budget_is_finite(self):
+        cfg = FleetConfig(listen="127.0.0.1:0", reconnect_attempts=3)
+        assert len(cfg.backoff_delays()) == 3

@@ -1,0 +1,77 @@
+"""Salvaged/re-queued accounting on outcomes and the campaign report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.report import STATUSES, CampaignReport, UnitOutcome
+
+
+def _outcome(label: str, status: str, **kw) -> UnitOutcome:
+    defaults = dict(ident="sleep", key="k-" + label, worker=0,
+                    seconds=0.1, compute_seconds=0.1)
+    defaults.update(kw)
+    return UnitOutcome(label=label, status=status, **defaults)
+
+
+def test_salvaged_is_a_registered_status():
+    assert "salvaged" in STATUSES
+    o = _outcome("a", "salvaged", worker=-1, host="w0:11", attempt=2)
+    assert o.attempt == 2 and o.host == "w0:11"
+
+
+def test_bad_status_still_rejected():
+    with pytest.raises(ValueError, match="bad status"):
+        _outcome("a", "rescued")
+
+
+def test_report_counts_salvage_and_requeue():
+    report = CampaignReport(
+        sweep="<custom>", workers=3, wall_seconds=1.0,
+        outcomes=[
+            _outcome("a", "ran", host="w0:1"),
+            _outcome("b", "salvaged", worker=-1, attempt=2),
+            _outcome("c", "ran", attempt=3),
+        ],
+        fleet={"workers": {"w0": "w0:1"}, "events": [],
+               "salvaged": 1, "degraded": False},
+    )
+    assert report.salvaged == 1
+    assert report.requeued == 2
+    assert report.failures == 0
+    # Salvaged units count as misses (they were computed this campaign).
+    assert report.cache_misses == 3
+
+
+def test_to_json_carries_fleet_and_attribution():
+    report = CampaignReport(
+        sweep="<custom>", workers=1, wall_seconds=1.0,
+        outcomes=[_outcome("a", "salvaged", worker=-1,
+                           host="w1:99", attempt=2)],
+        fleet={"workers": {"w1": "w1:99"}, "events": [],
+               "salvaged": 1, "degraded": True},
+    )
+    doc = report.to_json()
+    assert doc["salvaged"] == 1
+    assert doc["requeued"] == 1
+    assert doc["fleet"]["degraded"] is True
+    (unit,) = doc["units"]
+    assert unit["host"] == "w1:99"
+    assert unit["attempt"] == 2
+
+
+def test_tables_render_recovery_rows():
+    report = CampaignReport(
+        sweep="<custom>", workers=1, wall_seconds=1.0,
+        outcomes=[_outcome("a", "salvaged", worker=-1,
+                           host="w0:7", attempt=2)],
+        fleet={"workers": {"w0": "w0:7"}, "events": [],
+               "salvaged": 1, "degraded": False},
+    )
+    summary = report.summary_table().render()
+    assert "salvaged" in summary
+    assert "re-queued" in summary
+    assert "fleet workers" in summary
+    units = report.unit_table().render()
+    assert "attempt 2" in units
+    assert "w0:7" in units

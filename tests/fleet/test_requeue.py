@@ -1,0 +1,49 @@
+"""AttemptTracker: the shared re-queue/quarantine accounting."""
+
+from __future__ import annotations
+
+from repro.fleet.requeue import AttemptTracker
+
+
+def test_start_counts_dispatches():
+    t = AttemptTracker(max_attempts=3)
+    assert t.start("k") == 1
+    assert t.start("k") == 2
+    assert t.attempts("k") == 2
+    assert t.attempts("other") == 0
+
+
+def test_exhausted_at_the_cap():
+    t = AttemptTracker(max_attempts=2)
+    t.start("k")
+    assert not t.exhausted("k")
+    t.start("k")
+    assert t.exhausted("k")
+
+
+def test_keys_are_independent():
+    t = AttemptTracker(max_attempts=1)
+    t.start("a")
+    assert t.exhausted("a")
+    assert not t.exhausted("b")
+
+
+def test_quarantine_error_names_the_poison():
+    t = AttemptTracker(max_attempts=2)
+    for host in ("host-a:101", "host-b:202"):
+        t.start("k")
+        t.record_loss("k", host)
+    msg = t.quarantine_error("k", "sleep:0.1#x")
+    # "worker died" is the substring the pool's failure contract keys on.
+    assert "worker died" in msg
+    assert "'sleep:0.1#x'" in msg
+    assert "2/2" in msg
+    assert "host-a:101" in msg and "host-b:202" in msg
+
+
+def test_quarantine_error_without_recorded_hosts():
+    t = AttemptTracker(max_attempts=1)
+    t.start("k")
+    msg = t.quarantine_error("k", "unit")
+    assert "worker died" in msg
+    assert "workers lost" not in msg

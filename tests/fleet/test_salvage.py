@@ -1,0 +1,97 @@
+"""Salvage: sidecar-first probing, re-put replication, remembered dirs."""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign.cache import ResultCache
+from repro.fleet.salvage import (
+    WORKER_DIRS_FILE,
+    probe_dirs,
+    remember_worker_dir,
+    remembered_worker_dirs,
+    salvage_value,
+)
+
+KEY = "ab" + "0" * 62  # a well-formed sha256-shaped unit key
+
+
+def _put(root: str, key: str = KEY, value=None, **meta):
+    cache = ResultCache(root)
+    cache.put(key, value if value is not None else {"slept": 0.1},
+              meta={"ident": "sleep", "duration": 0.1, **meta})
+    return cache
+
+
+class TestProbeDirs:
+    def test_finds_complete_entry(self, tmp_path):
+        donor = str(tmp_path / "w0")
+        _put(donor)
+        assert probe_dirs(KEY, [str(tmp_path / "missing"), donor]) == donor
+
+    def test_requires_both_sidecar_and_payload(self, tmp_path):
+        donor = str(tmp_path / "w0")
+        cache = _put(donor)
+        pkl_path, sidecar_path = cache._paths(KEY)
+        os.remove(sidecar_path)
+        assert probe_dirs(KEY, [donor]) is None  # payload without sidecar
+        _put(donor)
+        os.remove(pkl_path)
+        assert probe_dirs(KEY, [donor]) is None  # sidecar without payload
+
+    def test_skips_nonexistent_and_empty_dirs(self, tmp_path):
+        assert probe_dirs(KEY, ["", str(tmp_path / "nope"), None]) is None
+
+
+class TestSalvageValue:
+    def test_replicates_into_main_cache(self, tmp_path):
+        donor = str(tmp_path / "worker")
+        _put(donor, value={"slept": 0.25}, host="w0:123")
+        main = ResultCache(str(tmp_path / "main"))
+        got = salvage_value(KEY, [donor], main)
+        assert got is not None
+        value, meta = got
+        assert value == {"slept": 0.25}
+        assert meta["host"] == "w0:123"
+        # Exactly-once: the main cache now answers directly, so the next
+        # campaign replays this unit as an ordinary hit.
+        assert main.contains(KEY)
+        assert main.get(KEY) == {"slept": 0.25}
+        assert main.meta(KEY)["host"] == "w0:123"
+
+    def test_main_cache_hit_short_circuits(self, tmp_path):
+        main = _put(str(tmp_path / "main"), value={"slept": 1.0})
+        got = salvage_value(KEY, [str(tmp_path / "absent")], main)
+        assert got is not None
+        assert got[0] == {"slept": 1.0}
+
+    def test_unsalvageable_returns_none(self, tmp_path):
+        main = ResultCache(str(tmp_path / "main"))
+        assert salvage_value(KEY, [str(tmp_path / "absent")], main) is None
+        assert not main.contains(KEY)
+
+
+class TestRememberedWorkerDirs:
+    def test_round_trip_and_dedup(self, tmp_path):
+        main = ResultCache(str(tmp_path / "main"))
+        w0 = str(tmp_path / "w0")
+        w1 = str(tmp_path / "w1")
+        remember_worker_dir(main, w0)
+        remember_worker_dir(main, w1)
+        remember_worker_dir(main, w0)  # duplicate: recorded once
+        dirs = remembered_worker_dirs(main)
+        assert dirs == [os.path.abspath(w0), os.path.abspath(w1)]
+        assert os.path.exists(os.path.join(main.root, WORKER_DIRS_FILE))
+
+    def test_own_root_is_never_recorded(self, tmp_path):
+        main = ResultCache(str(tmp_path / "main"))
+        remember_worker_dir(main, main.root)
+        assert remembered_worker_dirs(main) == []
+
+    def test_missing_or_corrupt_file_reads_empty(self, tmp_path):
+        main = ResultCache(str(tmp_path / "main"))
+        assert remembered_worker_dirs(main) == []
+        with open(os.path.join(main.root, WORKER_DIRS_FILE), "w") as fh:
+            fh.write("{not json")
+        assert remembered_worker_dirs(main) == []
+        assert remembered_worker_dirs(None) == []
