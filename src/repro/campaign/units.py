@@ -24,6 +24,7 @@ registry.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -59,7 +60,7 @@ SWEEPS: Dict[str, Tuple[str, ...]] = {
         "fig2_3", "fig4_6", "table8@4x4", "table9@4x4", "blockarray",
     ),
     "smoke": (
-        "fig1@4x4", "fig2_3", "fig4_6", "blockarray",
+        "fig1@4x4", "fig_3d", "fig2_3", "fig4_6", "blockarray",
         "table8", "table9", "sp2@4x4", "bigmesh@32x40",
     ),
     "full": tuple(sorted(EXPERIMENTS)),
@@ -93,7 +94,9 @@ def _estimate_cost(cost_tier: str, point: ParamPoint) -> float:
     meshes = opts.get("meshes") or ()
     if not meshes and "mesh_dims" in opts:
         meshes = (opts["mesh_dims"],)
-    cells = sum(int(p) * int(q) for p, q in meshes)
+    # A mesh may be 2-D (p, q) or 3-D (p, q, k): cost scales with the
+    # total rank count either way.
+    cells = sum(math.prod(int(d) for d in dims) for dims in meshes)
     if cells:
         est *= 1.0 + cells / 64.0
     return est

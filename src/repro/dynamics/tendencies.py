@@ -148,9 +148,22 @@ def compute_tendencies(
     dpt = dpt + nu * laplacian5(pt, geom.dx_c[1:-1], dy)
 
     # ---- surface pressure proxy -------------------------------------------
-    dps = (c.P_REFERENCE / PT_REFERENCE) * dpt.mean(axis=2, keepdims=True)
+    dps = surface_pressure_tendency(dpt)
 
     return {"u": du, "v": dv, "pt": dpt, "q": dq, "ps": dps}
+
+
+def surface_pressure_tendency(dpt: np.ndarray) -> np.ndarray:
+    """The ``ps`` closure: relaxation with the layer-mean mass tendency.
+
+    The one place the tendency kernel couples the vertical.  Factored out
+    so the 3-D decomposition can evaluate it on pillar-assembled full-K
+    columns with the exact same reduction (same values, same layer order,
+    same numpy pairwise mean) as the serial and 2-D paths — keeping the
+    3-D program bit-identical.  ``dpt`` must carry **all** model layers
+    on axis 2, ordered bottom to top.
+    """
+    return (c.P_REFERENCE / PT_REFERENCE) * dpt.mean(axis=2, keepdims=True)
 
 
 def dynamics_flops(npoints: int, nlayers: int) -> float:

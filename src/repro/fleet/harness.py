@@ -118,7 +118,9 @@ class LocalFleet:
             cache = self.worker_cache_dirs[index]
         elif self.cache_dir is not None:
             cache = self.cache_dir
-        if cache:
+        # ``is not None``, not truthiness: a worker-specific entry may
+        # legitimately be "" / Path(".") and must still be forwarded.
+        if cache is not None:
             cmd += ["--cache-dir", str(cache)]
         spec = self.chaos.get(index)
         if spec:

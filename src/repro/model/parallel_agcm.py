@@ -419,3 +419,311 @@ def _physics_balanced(
             tend_pt[start : start + count] = payload["pt"]
             tend_q[start : start + count] = payload["q"]
     return tend_pt, tend_q, moved_by_me, new_measure
+
+
+# ----------------------------------------------------------------------
+# 3-D decomposition with leap-format stepping (AGCM-3DLF)
+# ----------------------------------------------------------------------
+
+def _pillar_to_columns(comm, flat: np.ndarray, col_bounds) -> "np.ndarray":
+    """Slab -> column-space transpose of one flattened field.
+
+    ``flat`` is ``(npts, nlev_loc)`` (tile columns x local layers);
+    ``col_bounds[d]`` the column share of pillar member ``d``.  Returns
+    this member's ``(my_ncols, nlayers)`` full columns, layer blocks
+    concatenated in global layer order — bit-identical rows of the
+    serial field.
+    """
+    chunks = [
+        np.ascontiguousarray(flat[c0:c1]) for c0, c1 in col_bounds
+    ]
+    received = yield from comm.transpose_to_levels(chunks)
+    return np.concatenate(received, axis=1)
+
+
+def _columns_to_pillar(comm, cols: np.ndarray, col_bounds,
+                       lev_bounds) -> "np.ndarray":
+    """Column-space -> slab transpose (inverse of
+    :func:`_pillar_to_columns`).
+
+    ``cols`` is ``(my_ncols, nlayers)``; returns the reassembled
+    ``(npts, nlev_loc)`` local-layer block of the whole tile.
+    """
+    chunks = [
+        np.ascontiguousarray(cols[:, l0:l1]) for l0, l1 in lev_bounds
+    ]
+    received = yield from comm.transpose_from_levels(chunks)
+    npts = col_bounds[-1][1]
+    out = np.empty((npts, received[comm.rank].shape[1]),
+                   dtype=cols.dtype)
+    for (c0, c1), block in zip(col_bounds, received):
+        out[c0:c1] = block
+    return out
+
+
+def agcm3d_rank_program(
+    ctx,
+    cfg: AGCMConfig,
+    decomp,
+    nsteps: int,
+    return_fields: bool = False,
+):
+    """Generator: run ``nsteps`` AGCM steps on this rank's 3-D slab.
+
+    The AGCM-3DLF counterpart of :func:`agcm_rank_program`: ``decomp``
+    is a :class:`repro.grid.decomposition3d.Decomposition3D` and each
+    rank owns a ``(nlat_loc, nlon_loc, nlev_loc)`` vertical slab.
+    Horizontal work (halo exchange, finite differences, polar
+    filtering, leapfrog update) runs per-slab through the unmodified
+    2-D machinery via :meth:`Decomposition3D.slab`; vertically coupled
+    work transposes to column space over the pillar group:
+
+    * column physics — slab -> column transpose, compute on the pillar
+      share, transpose back (``"transpose"`` phase);
+    * the surface-pressure closure — pillar allgather of the
+      pre-forcing ``pt`` tendency, full-K layer mean in global layer
+      order (:func:`~repro.dynamics.tendencies.surface_pressure_tendency`);
+    * implicit vertical diffusion — the Thomas solves run on the
+      transposed full columns.
+
+    Leap-format stepping: the pairwise transpose rounds rotate partners
+    per vertical rank, and the finite-difference latitude sweep is
+    charged in ``nlev_procs`` chunks in :func:`leap-rotated
+    <repro.physics.workload.leap_schedule>` order, so pillar members
+    touch different latitude bands (and different filter rows) at any
+    instant instead of serialising on the same ones.  The vertical
+    ghost-layer exchange for the full model's vertical differencing is
+    priced per step (the reduced kernel has no vertical stencil, but
+    the calibrated ``AGCM_FLOPS_PER_POINT_LAYER`` workload it stands in
+    for does).
+
+    With ``nlev_procs == 1`` every collective degenerates to a local
+    copy and the step is the classic 2-D one.  The gathered trajectory
+    is bit-identical to the serial driver for the fft filter backends
+    (the ``agcm-3d-vs-serial`` pair asserts EXACT tolerance).
+    """
+    from repro.dynamics.tendencies import surface_pressure_tendency
+    from repro.parallel.collectives import exchange_vertical_halo
+    from repro.physics.workload import leap_schedule
+    from repro.util.partition import block_bounds
+
+    grid = cfg.make_grid()
+    mesh = decomp.mesh
+    sub = decomp.subdomain(ctx.rank)
+    slab = decomp.slab(sub.klev_proc)
+    geom = LocalGeometry.from_grid(grid, sub.lat0, sub.lat1)
+    lat_rad_loc = grid.lat_rad[sub.lat_slice]
+    lon_rad_loc = grid.lon_rad[sub.lon_slice]
+    plan = make_filter_plan(grid)
+    backend = prepare_filter_backend(cfg.filter_backend, plan, slab)
+    dt = cfg.timestep()
+    npts = sub.nlat * sub.nlon
+    nlayers = cfg.nlayers
+    nlev_loc = sub.nlev
+    nlev_procs = mesh.nlev_procs
+    klev = sub.klev_proc
+    is_north_edge = sub.lat1 == decomp.nlat
+
+    pillar = None
+    col_bounds = [(0, npts)]
+    lev_bounds = [(0, nlayers)]
+    if nlev_procs > 1:
+        i_proc, j_proc, _ = mesh.coords3_of(ctx.rank)
+        pillar = ctx.group(mesh.pillar_ranks(i_proc, j_proc))
+        col_bounds = block_bounds(npts, nlev_procs)
+        lev_bounds = [
+            decomp.lev_bounds_of_proc(k) for k in range(nlev_procs)
+        ]
+    my_c0, my_c1 = col_bounds[klev]
+    my_ncols = my_c1 - my_c0
+    # Latitude/longitude of this rank's column share, in the lat-major
+    # flattening order of ColumnSet.from_block.
+    share_lat = np.repeat(lat_rad_loc, sub.nlon)[my_c0:my_c1]
+    share_lon = np.tile(lon_rad_loc, sub.nlat)[my_c0:my_c1]
+    # Leap-format latitude sweep: chunk bounds + this rank's rotation.
+    sweep = leap_schedule(nlev_procs, klev)
+    sweep_bounds = block_bounds(sub.nlat, nlev_procs)
+
+    pool = ArrayPool() if getattr(ctx, "fast", False) else None
+
+    # Initial state: build the full-K tile block (deterministic per
+    # global coordinate) and slice the slab's layers; ps stays whole —
+    # single-level fields are replicated across the pillar.
+    full = initial_fields_block(
+        lat_rad_loc, lon_rad_loc, nlayers, seed=cfg.seed
+    )
+    now = {
+        name: (
+            np.ascontiguousarray(arr[:, :, sub.lev_slice])
+            if name != "ps" else arr
+        )
+        for name, arr in full.items()
+    }
+    prev: Optional[Dict[str, np.ndarray]] = None
+    forcing_pt = np.zeros((sub.nlat, sub.nlon, nlev_loc))
+    forcing_q = np.zeros_like(forcing_pt)
+
+    physics_calls = 0
+    time_now = 0.0
+
+    for step in range(nsteps):
+        step_span = ctx.span("step", step=step)
+        step_span.__enter__()
+        # ---------------- physics (column space) ----------------------
+        if step % cfg.physics_every == 0:
+            with ctx.region("physics"):
+                time_frac = (
+                    time_now % c.SECONDS_PER_DAY
+                ) / c.SECONDS_PER_DAY
+                if pillar is None:
+                    cols = ColumnSet.from_block(
+                        now["pt"], now["q"], lat_rad_loc, lon_rad_loc
+                    )
+                else:
+                    with ctx.region("transpose"):
+                        col_pt = yield from _pillar_to_columns(
+                            pillar, now["pt"].reshape(npts, nlev_loc),
+                            col_bounds,
+                        )
+                        col_q = yield from _pillar_to_columns(
+                            pillar, now["q"].reshape(npts, nlev_loc),
+                            col_bounds,
+                        )
+                    cols = ColumnSet(
+                        pt=col_pt, q=col_q,
+                        lat_rad=share_lat, lon_rad=share_lon,
+                    )
+                result = run_physics(
+                    cols, time_frac, step, cfg.physics,
+                    metrics=ctx.metrics if ctx.obs.enabled else None,
+                )
+                with ctx.span("physics.compute", ncols=cols.ncol):
+                    yield from ctx.compute(flops=result.total_flops)
+                if pillar is None:
+                    forcing_pt[...] = result.tend_pt.reshape(
+                        sub.nlat, sub.nlon, nlev_loc
+                    )
+                    forcing_q[...] = result.tend_q.reshape(
+                        sub.nlat, sub.nlon, nlev_loc
+                    )
+                else:
+                    with ctx.region("transpose"):
+                        back_pt = yield from _columns_to_pillar(
+                            pillar, result.tend_pt, col_bounds, lev_bounds
+                        )
+                        back_q = yield from _columns_to_pillar(
+                            pillar, result.tend_q, col_bounds, lev_bounds
+                        )
+                    forcing_pt[...] = back_pt.reshape(
+                        sub.nlat, sub.nlon, nlev_loc
+                    )
+                    forcing_q[...] = back_q.reshape(
+                        sub.nlat, sub.nlon, nlev_loc
+                    )
+                physics_calls += 1
+
+        # ---------------- dynamics ------------------------------------
+        with ctx.region("dynamics"):
+            with ctx.region("halo"):
+                padded = {}
+                for name in PROGNOSTIC_NAMES:
+                    padded[name] = yield from exchange_halos(
+                        ctx, slab, now[name],
+                        pool=pool, scratch_tag=name,
+                    )
+            if pillar is not None:
+                # Ghost layers for the full model's vertical
+                # differencing (priced, not consumed by the reduced
+                # kernel — see the docstring).
+                with ctx.region("transpose"):
+                    yield from exchange_vertical_halo(
+                        ctx, decomp, now["pt"]
+                    )
+            with ctx.region("fd"):
+                # Leap-format latitude sweep: rotated chunk order per
+                # vertical rank.
+                for chunk in sweep:
+                    c_lat0, c_lat1 = sweep_bounds[chunk]
+                    chunk_pts = (c_lat1 - c_lat0) * sub.nlon
+                    if chunk_pts == 0:
+                        continue
+                    yield from ctx.compute(
+                        flops=dynamics_flops(chunk_pts, nlev_loc),
+                        mem_bytes=dynamics_mem_bytes(chunk_pts, nlev_loc),
+                        inner_length=sub.nlon,
+                    )
+                tend = compute_tendencies(padded, geom, cfg.dynamics)
+            if pillar is not None:
+                # Pillar surface-pressure closure: the layer mean needs
+                # every layer of the column, assembled in global layer
+                # order from the pre-forcing pt tendency.
+                with ctx.region("transpose"):
+                    dpt_blocks = yield from pillar.allgather(tend["pt"])
+                tend["ps"] = surface_pressure_tendency(
+                    np.concatenate(dpt_blocks, axis=2)
+                )
+            tend["pt"] = tend["pt"] + forcing_pt
+            tend["q"] = tend["q"] + forcing_q
+            with ctx.region("filtering"):
+                yield from backend.apply(ctx, tend)
+            with ctx.region("update"):
+                yield from ctx.compute(
+                    flops=UPDATE_FLOPS_PER_POINT_LAYER * npts * nlev_loc,
+                    inner_length=sub.nlon,
+                )
+                prev, now = _advance(prev, now, tend, dt, cfg.ra_coeff)
+                if is_north_edge:
+                    now["v"][-1, ...] = 0.0
+                if cfg.vertical_diffusion > 0:
+                    yield from ctx.compute(
+                        flops=(
+                            VDIFF_FLOPS_PER_POINT_LAYER
+                            * my_ncols * nlayers
+                        ),
+                        inner_length=nlayers,
+                    )
+                    if pillar is None:
+                        for name in ("pt", "q"):
+                            now[name] = implicit_vertical_diffusion(
+                                now[name], dt, cfg.vertical_diffusion,
+                                cfg.dz,
+                            )
+                    else:
+                        # Thomas solves need full columns: solve in
+                        # transposed space, then return to slabs.
+                        for name in ("pt", "q"):
+                            with ctx.region("transpose"):
+                                col = yield from _pillar_to_columns(
+                                    pillar,
+                                    now[name].reshape(npts, nlev_loc),
+                                    col_bounds,
+                                )
+                            solved = implicit_vertical_diffusion(
+                                col.reshape(my_ncols, 1, nlayers),
+                                dt, cfg.vertical_diffusion, cfg.dz,
+                            ).reshape(my_ncols, nlayers)
+                            with ctx.region("transpose"):
+                                back = yield from _columns_to_pillar(
+                                    pillar, solved, col_bounds,
+                                    lev_bounds,
+                                )
+                            now[name] = back.reshape(
+                                sub.nlat, sub.nlon, nlev_loc
+                            )
+        time_now += dt
+        step_span.__exit__(None, None, None)
+
+    summary = {
+        "rank": ctx.rank,
+        "subdomain": (sub.lat0, sub.lat1, sub.lon0, sub.lon1,
+                      sub.lev0, sub.lev1),
+        "steps": nsteps,
+        "physics_calls": physics_calls,
+        "max_wind": float(
+            max(np.abs(now["u"]).max(), np.abs(now["v"]).max())
+        ),
+        "finite": bool(all(np.isfinite(a).all() for a in now.values())),
+    }
+    if return_fields:
+        summary["fields"] = now
+    return summary

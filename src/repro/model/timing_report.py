@@ -43,6 +43,9 @@ class ComponentBreakdown:
     retry: float = 0.0
     checkpoint: float = 0.0
     guard: float = 0.0
+    #: Pillar lat/lon <-> lev transposes + vertical collectives — only
+    #: nonzero for the 3-D decomposition (AGCM-3DLF) rank program.
+    transpose: float = 0.0
 
     @property
     def dynamics_fraction(self) -> float:
@@ -76,6 +79,7 @@ class ComponentBreakdown:
             retry=phase("retry"),
             checkpoint=phase("checkpoint"),
             guard=phase("guard"),
+            transpose=phase("transpose"),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -90,4 +94,5 @@ class ComponentBreakdown:
             "retry": self.retry,
             "checkpoint": self.checkpoint,
             "guard": self.guard,
+            "transpose": self.transpose,
         }

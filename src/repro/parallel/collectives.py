@@ -36,6 +36,8 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.parallel import engine as _engine
 from repro.parallel.events import ACCUM, Exchange, FromRound
 from repro.util.validation import check_chunk_count
@@ -442,3 +444,160 @@ def reduce_scatter_ring_loop(comm, chunks: Sequence[Any],
         )
         acc = op(received, chunks[recv_idx])
     return acc
+
+
+# ----------------------------------------------------------------------
+# 3-D decomposition collectives (AGCM-3DLF)
+# ----------------------------------------------------------------------
+
+_TAG_VHALO_UP = 0x7FFF0009
+_TAG_VHALO_DOWN = 0x7FFF000A
+_TAG_TRANS_FWD = 0x7FFF000B
+_TAG_TRANS_BACK = 0x7FFF000C
+
+
+def _pairwise_transpose(comm, chunks: Sequence[Any], tag: int):
+    """Shared body of the lat/lon <-> lev transposes: a pairwise
+    all-to-all over the pillar group under a direction-specific tag.
+
+    The shift schedule is closed and per-round matched exactly like
+    :func:`alltoall_pairwise`, so the group declaration routes large
+    transposes through the scheduler's vectorized ``_bulk_exchange``
+    fastpath.
+    """
+    size = comm.size
+    check_chunk_count(chunks, size, "transpose")
+    if size == 1:
+        return [chunks[0]]
+    if not _engine.batched():
+        result = yield from _pairwise_transpose_loop(comm, chunks, tag)
+        return result
+    rank = comm.rank
+    granks = comm.ranks
+    dest_local = list(range(rank + 1, size)) + list(range(rank))
+    src_local = list(range(rank - 1, -1, -1)) + list(
+        range(size - 1, rank, -1)
+    )
+    sends = tuple(
+        (granks[d], chunks[d], tag, None, True) for d in dest_local
+    )
+    recvs = tuple((granks[s], tag) for s in src_local)
+    received = yield Exchange(sends=sends, recvs=recvs,
+                              group=tuple(granks))
+    result: List[Any] = [None] * size
+    result[rank] = chunks[rank]
+    for s, value in zip(src_local, received):
+        result[s] = value
+    return result
+
+
+def _pairwise_transpose_loop(comm, chunks: Sequence[Any], tag: int):
+    """Per-message transpose (legacy engine): P - 1 shifted sendrecvs."""
+    size = comm.size
+    result: List[Any] = [None] * size
+    result[comm.rank] = chunks[comm.rank]
+    for shift in range(1, size):
+        dest = (comm.rank + shift) % size
+        src = (comm.rank - shift) % size
+        result[src] = yield from comm.sendrecv(
+            dest=dest, payload=chunks[dest], source=src, tag=tag
+        )
+    return result
+
+
+def transpose_to_levels(comm, chunks: Sequence[Any]):
+    """Slab -> column-space transpose over one pillar of a 3-D mesh.
+
+    ``chunks[d]`` holds the horizontal column subset destined for pillar
+    rank ``d`` (carrying this rank's local layers); the return value is
+    indexed by source pillar rank, i.e. by **vertical block in global
+    layer order** — concatenating along the layer axis reassembles full
+    columns deterministically.
+    """
+    result = yield from _pairwise_transpose(comm, chunks, _TAG_TRANS_FWD)
+    return result
+
+
+def transpose_from_levels(comm, chunks: Sequence[Any]):
+    """Column-space -> slab transpose (inverse of
+    :func:`transpose_to_levels`); distinct tag so the two directions of
+    a leap-format round can never cross-match."""
+    result = yield from _pairwise_transpose(comm, chunks, _TAG_TRANS_BACK)
+    return result
+
+
+def exchange_vertical_halo(ctx, decomp, local, halo: int = 1):
+    """Pad a local slab with ``halo`` ghost layers from the pillar
+    neighbours above and below.
+
+    ``decomp`` is a :class:`repro.grid.decomposition3d.Decomposition3D`;
+    ``local`` is this rank's ``(nlat_loc, nlon_loc, nlev_loc, ...)``
+    slab.  The vertical is not periodic: at the top and bottom of the
+    atmosphere the boundary layer is replicated into the ghost slots
+    (the same convention the horizontal exchange uses at the poles).
+    On a 2-D mesh (``nlev_procs == 1``) no messages are sent.
+    """
+    mesh = decomp.mesh
+    rank = ctx.rank
+    sub = decomp.subdomain(rank)
+    if local.shape[:3] != sub.shape:
+        raise ValueError(
+            f"rank {rank}: local shape {local.shape[:3]} != slab "
+            f"{sub.shape}"
+        )
+    if halo < 1 or halo > sub.nlev:
+        raise ValueError(f"invalid vertical halo {halo} for slab "
+                         f"{sub.shape}")
+    shape = (sub.nlat, sub.nlon, sub.nlev + 2 * halo, *local.shape[3:])
+    padded = np.empty(shape, dtype=local.dtype)
+    padded[:, :, halo:-halo] = local
+
+    up = mesh.up_of(rank)
+    down = mesh.down_of(rank)
+    top_edge = np.ascontiguousarray(local[:, :, -halo:])
+    bottom_edge = np.ascontiguousarray(local[:, :, :halo])
+
+    if _engine.batched() and (up is not None or down is not None):
+        ghosts = yield Exchange(
+            sends=(
+                (up, top_edge, _TAG_VHALO_UP, None, True)
+                if up is not None else None,
+                (down, bottom_edge, _TAG_VHALO_DOWN, None, True)
+                if down is not None else None,
+            ),
+            recvs=(
+                (down, _TAG_VHALO_UP) if down is not None else None,
+                (up, _TAG_VHALO_DOWN) if up is not None else None,
+            ),
+        )
+        if down is not None:
+            padded[:, :, :halo] = ghosts[0]
+        else:
+            for g in range(halo):  # bottom of atmosphere: replicate
+                padded[:, :, g] = padded[:, :, halo]
+        if up is not None:
+            padded[:, :, -halo:] = ghosts[1]
+        else:
+            for g in range(halo):  # top of atmosphere: replicate
+                padded[:, :, -(g + 1)] = padded[:, :, -(halo + 1)]
+        return padded
+
+    if up is not None:
+        yield from ctx.send(up, top_edge, tag=_TAG_VHALO_UP)
+    if down is not None:
+        bottom_ghost = yield from ctx.recv(down, tag=_TAG_VHALO_UP)
+        padded[:, :, :halo] = bottom_ghost
+    else:
+        for g in range(halo):  # bottom of atmosphere: replicate
+            padded[:, :, g] = padded[:, :, halo]
+
+    if down is not None:
+        yield from ctx.send(down, bottom_edge, tag=_TAG_VHALO_DOWN)
+    if up is not None:
+        top_ghost = yield from ctx.recv(up, tag=_TAG_VHALO_DOWN)
+        padded[:, :, -halo:] = top_ghost
+    else:
+        for g in range(halo):  # top of atmosphere: replicate
+            padded[:, :, -(g + 1)] = padded[:, :, -(halo + 1)]
+
+    return padded

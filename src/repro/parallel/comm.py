@@ -147,6 +147,23 @@ class GroupComm:
             result = yield from coll.alltoall_pairwise(self, chunks)
         return result
 
+    def transpose_to_levels(self, chunks: Sequence[Any]):
+        """Slab -> column-space pillar transpose (leap-format rounds).
+
+        ``chunks[d]`` is the column share destined for pillar member
+        ``d``; the return value is indexed by source member, i.e. by
+        vertical block in global layer order.
+        """
+        with self.ctx.span("coll.transpose_fwd"):
+            result = yield from coll.transpose_to_levels(self, chunks)
+        return result
+
+    def transpose_from_levels(self, chunks: Sequence[Any]):
+        """Column-space -> slab pillar transpose (inverse direction)."""
+        with self.ctx.span("coll.transpose_back"):
+            result = yield from coll.transpose_from_levels(self, chunks)
+        return result
+
 
 class VirtualComm(GroupComm):
     """The world communicator handed to every rank program.

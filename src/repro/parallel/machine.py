@@ -110,8 +110,13 @@ class MachineModel:
 
         The roofline-style ``max`` captures whether the loop is compute or
         memory-bandwidth bound.  ``inner_length`` (if given) applies the
-        vector-startup degradation: short inner loops run slower by a
-        factor ``(L + vector_startup) / L``.
+        vector-startup degradation.  Both statements of it are the same
+        model: the effective rate drops to ``flop_rate * L / (L +
+        vector_startup)`` (the attribute's phrasing), equivalently the
+        compute-bound time grows by the factor ``(L + vector_startup) /
+        L`` — e.g. ``L == vector_startup`` charges exactly twice the
+        asymptotic time.  The startup penalty applies to the flop term
+        only, never to the memory-bandwidth bound.
         """
         if flops < 0 or mem_bytes < 0:
             raise ValueError("flops and mem_bytes must be non-negative")

@@ -581,6 +581,15 @@ class Simulator:
                 if cls is Exchange:
                     state.exch = ex = _ExchState(op, machine)
                     group = op.group
+                    if group is not None and rank not in group:
+                        # Mirror the barrier membership check: a rank
+                        # issuing a grouped exchange it does not belong
+                        # to would park in exch_waiting forever (the
+                        # group closes without it) — a silent deadlock.
+                        raise ValueError(
+                            f"rank {rank} issued grouped exchange for "
+                            f"group {group} it does not belong to"
+                        )
                     if (group is not None and bulk_ok
                             and ex.pre_busy is not None
                             and ex.combine is None

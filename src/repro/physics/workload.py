@@ -94,3 +94,38 @@ def analytic_rank_load(
     )
     lsc = cond.COND_TRIGGER + conv_fraction * cond.COND_PER_WET_LAYER * 2.0
     return ncolumns * (lw + sw + cv + lsc + pbl.PBL_FLOPS)
+
+
+# ----------------------------------------------------------------------
+# 3-D decomposition (AGCM-3DLF): column shares and leap schedules
+# ----------------------------------------------------------------------
+
+def pillar_column_share(ncolumns: int, nlev_procs: int, klev: int) -> int:
+    """Columns pillar rank ``klev`` holds after the slab -> column
+    transpose.
+
+    Column physics cannot run on a vertical slab (every parameterisation
+    couples the whole column), so the pillar transposes its horizontal
+    tile into ``nlev_procs`` column shares, front-loaded exactly like the
+    horizontal block partition.  With ``nlev_procs == 1`` this is the
+    whole tile — the 2-D behaviour.
+    """
+    from repro.util.partition import block_bounds
+
+    lo, hi = block_bounds(ncolumns, nlev_procs)[klev]
+    return hi - lo
+
+
+def leap_schedule(nchunks: int, klev: int) -> list:
+    """The leap-format processing order of ``nchunks`` work chunks for
+    vertical rank ``klev``: the identity sweep rotated by ``klev``.
+
+    Rotating each vertical rank's sweep start means the pillar's ranks
+    touch *different* latitude chunks (and therefore different transpose
+    partners and filter rows) at any instant — dependent latitude sweeps
+    overlap across the vertical instead of serialising on the same rows.
+    """
+    if nchunks <= 0:
+        raise ValueError("nchunks must be positive")
+    start = klev % nchunks
+    return [(start + i) % nchunks for i in range(nchunks)]

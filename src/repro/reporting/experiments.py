@@ -29,8 +29,9 @@ from repro.core.physics_lb import (
 )
 from repro.dynamics.state import initial_fields_block
 from repro.grid import Decomposition2D
+from repro.grid.decomposition3d import Decomposition3D
 from repro.model import AGCM, ComponentBreakdown, make_config, plan_column_flow
-from repro.model.parallel_agcm import agcm_rank_program
+from repro.model.parallel_agcm import agcm3d_rank_program, agcm_rank_program
 from repro.parallel import PARAGON, T3D, MachineModel, ProcessorMesh, Simulator
 from repro.perf import (
     ALL_VARIANTS,
@@ -117,6 +118,73 @@ def run_fig1(
     return ExperimentResult(
         ident="fig1",
         title="Execution-time fractions of major AGCM components",
+        tables=[table],
+        data=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# fig_3d: 3-D decomposition (AGCM-3DLF) vs the classic 2-D layout
+# ----------------------------------------------------------------------
+
+def run_fig_3d(
+    machine: MachineModel = PARAGON,
+    nsteps: int = 4,
+    meshes: Sequence[Tuple[int, int, int]] = ((4, 4, 1), (2, 2, 4), (4, 2, 2)),
+) -> ExperimentResult:
+    """3-D (lat x lon x lev) vs 2-D decomposition at a fixed node count.
+
+    A Figure-1-style component breakdown answering *where* the 3-D
+    decomposition with leap-format stepping wins over the classic
+    horizontal-only layout at the same processor count: taller
+    horizontal tiles keep the vectorised inner (longitude) loops long
+    under the machine's vector-startup penalty and shrink the halo and
+    filter row groups, at the price of the pillar transposes.  Meshes
+    with ``nlev_procs == 1`` run the classic 2-D rank program and the
+    first such mesh is the speedup baseline.
+    """
+    cfg = make_config("tiny")
+    table = Table(
+        f"fig_3d — 2-D vs 3-D decomposition, {cfg.nlat} x {cfg.nlon} x "
+        f"{cfg.nlayers} grid ({machine.name})",
+        ["mesh", "total s/day", "dynamics", "physics",
+         "transpose", "speedup vs 2-D"],
+    )
+    rows: Dict[str, Dict] = {}
+    baseline_total: Optional[float] = None
+    for dims in meshes:
+        p, q, k = (*dims, 1)[:3] if len(dims) == 2 else dims
+        mesh = ProcessorMesh(p, q, k)
+        if mesh.is_3d:
+            decomp3 = Decomposition3D(cfg.nlat, cfg.nlon, cfg.nlayers, mesh)
+            res = Simulator(mesh.size, machine).run(
+                agcm3d_rank_program, cfg, decomp3, nsteps
+            )
+        else:
+            decomp2 = Decomposition2D(cfg.nlat, cfg.nlon, mesh)
+            res = Simulator(mesh.size, machine).run(
+                agcm_rank_program, cfg, decomp2, nsteps
+            )
+        br = ComponentBreakdown.from_result(res, nsteps, cfg)
+        if baseline_total is None and not mesh.is_3d:
+            baseline_total = br.total
+        speedup = baseline_total / br.total if baseline_total else None
+        label = f"{p}x{q}x{k}"
+        table.add_row(
+            label, br.total, br.dynamics, br.physics, br.transpose,
+            f"{speedup:.2f}x" if speedup is not None else "-",
+        )
+        rows[label] = {
+            "dims": (p, q, k),
+            "nodes": mesh.size,
+            "total": br.total,
+            "speedup_vs_2d": speedup,
+            "breakdown": br,
+        }
+    return ExperimentResult(
+        ident="fig_3d",
+        title="3-D decomposition with leap-format stepping vs 2-D "
+              "at fixed node count",
         tables=[table],
         data=rows,
     )
@@ -1167,6 +1235,10 @@ def _specs(*entries):
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = _specs(
     ("fig1", run_fig1, "medium", _mesh_points(((4, 4), (8, 30)))),
+    ("fig_3d", run_fig_3d, "fast", tuple(
+        ParamPoint.make(f"{p}x{q}x{k}", meshes=((p, q, k),))
+        for p, q, k in ((4, 4, 1), (2, 2, 4), (4, 2, 2))
+    )),
     ("fig2_3", run_fig2_3, "fast", (
         ParamPoint.make("4x8", mesh_dims=(4, 8)),
         ParamPoint.make("8x8", mesh_dims=(8, 8)),

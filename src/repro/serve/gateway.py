@@ -369,8 +369,13 @@ class Gateway:
         doc = self.metrics.snapshot()
         doc["queue_limit"] = self.config.queue_limit
         doc["pool_workers"] = self.config.pool_workers
-        doc["cache_entries"] = len(self.cache) if self.cache else 0
+        # ``is not None``: ResultCache defines __len__, so an *empty*
+        # cache is falsy and ``if self.cache`` would misreport it as
+        # absent (0 entries is a real answer, "no cache" is not).
+        doc["cache_entries"] = (
+            len(self.cache) if self.cache is not None else 0
+        )
         doc["spans_recorded"] = (
-            len(self.observer.spans) if self.observer else 0
+            len(self.observer.spans) if self.observer is not None else 0
         )
         return doc

@@ -46,6 +46,7 @@ TRACKED_RATIOS: Tuple[str, ...] = (
     "speedup_agcm_total_new_vs_old",
     "straggler_imbalance_reduction",
     "guard_ckpt_buddy_vs_disk_speedup",
+    "sim_3d_speedup_vs_2d",
 )
 
 #: Hard acceptance constraints on guard metrics (not drift-gated like
@@ -93,6 +94,19 @@ FLEET_MAX_RECOVERY_OVERHEAD = 1.5
 #: two wall-clock times on the same host in the same process, so it is
 #: far more stable than either throughput number alone.
 SIM_MIN_EVENT_ENGINE_SPEEDUP = 3.0
+
+#: Meshes of the 3-D decomposition probe: the same 16 nodes laid out
+#: horizontally (classic 2-D) and as a 2 x 2 x 4 slab mesh (AGCM-3DLF).
+AGCM_3D_BASELINE: Tuple[int, int, int] = (4, 4, 1)
+AGCM_3D_MESH: Tuple[int, int, int] = (2, 2, 4)
+
+#: Absolute floor on the 3-D decomposition win (virtual-time ratio on
+#: the deterministic tiny probe, so it is exactly reproducible): the
+#: 2 x 2 x 4 slab layout must beat the 4 x 4 horizontal layout at the
+#: same node count.  Measured ~1.20x on PARAGON (longer vector inner
+#: loops + smaller halo and filter row groups outweigh the pillar
+#: transposes); floored at 1.05 to leave headroom for model retuning.
+SIM_MIN_3D_SPEEDUP = 1.05
 
 _ENTRY_REQUIRED_KEYS = ("schema_version", "timestamp", "machine", "config",
                         "metrics", "tracked_ratios")
@@ -170,6 +184,17 @@ def collect_metrics() -> Dict[str, float]:
     from repro.perf.simbench import run_probe
 
     metrics.update(run_probe())
+
+    from repro.reporting.experiments import run_fig_3d
+
+    fig3d = run_fig_3d(
+        PARAGON, nsteps=AGCM_NSTEPS, meshes=(AGCM_3D_BASELINE, AGCM_3D_MESH)
+    ).data
+    label3d = "x".join(str(d) for d in AGCM_3D_MESH)
+    metrics["agcm_2d_total_s_per_day"] = \
+        fig3d["x".join(str(d) for d in AGCM_3D_BASELINE)]["total"]
+    metrics["agcm_3d_total_s_per_day"] = fig3d[label3d]["total"]
+    metrics["sim_3d_speedup_vs_2d"] = fig3d[label3d]["speedup_vs_2d"]
     return {k: float(v) for k, v in metrics.items()}
 
 
@@ -279,6 +304,15 @@ def check_constraints(metrics: Dict[str, float]) -> List[str]:
             f"{SIM_MIN_EVENT_ENGINE_SPEEDUP:g}x floor (batched engine + "
             f"fastpath vs the legacy per-message engine on the 240-rank "
             f"probe)"
+        )
+    s3d = metrics.get("sim_3d_speedup_vs_2d")
+    if s3d is not None and s3d < SIM_MIN_3D_SPEEDUP:
+        problems.append(
+            f"sim_3d_speedup_vs_2d {s3d:.2f}x is below the "
+            f"{SIM_MIN_3D_SPEEDUP:g}x floor (the "
+            f"{'x'.join(str(d) for d in AGCM_3D_MESH)} slab mesh must "
+            f"beat the {'x'.join(str(d) for d in AGCM_3D_BASELINE)} "
+            f"horizontal layout at the same node count)"
         )
     return problems
 

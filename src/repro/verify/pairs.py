@@ -50,10 +50,11 @@ from repro.core.physics_lb import (
     apply_moves,
 )
 from repro.grid.decomposition import Decomposition2D
+from repro.grid.decomposition3d import Decomposition3D
 from repro.grid.sphere import SphericalGrid
 from repro.model.agcm import AGCM
 from repro.model.config import AGCMConfig
-from repro.model.parallel_agcm import agcm_rank_program
+from repro.model.parallel_agcm import agcm3d_rank_program, agcm_rank_program
 from repro.parallel import GENERIC, ProcessorMesh, Simulator
 from repro.perf.access_patterns import (
     ADVECTION_LOOP_MIX,
@@ -555,6 +556,63 @@ def agcm_serial_vs_parallel_pair() -> ImplementationPair:
         atol=tolerances.FIELD_ATOL_LOOSE,
         rtol=0.0,
         description="serial driver vs SPMD rank program (Tables 4-7 pairing)",
+    )
+
+
+def _agcm3d_candidate(config: Config, rng: np.random.Generator):
+    seed = int(rng.integers(2**31))
+    cfg = _agcm_config(config, seed)
+    mesh = ProcessorMesh(config["mi"], config["mj"], config["mk"])
+    decomp = Decomposition3D(cfg.nlat, cfg.nlon, cfg.nlayers, mesh)
+    res = Simulator(mesh.size, GENERIC).run(
+        agcm3d_rank_program, cfg, decomp, config["nsteps"], True
+    )
+    return {
+        name: decomp.gather(
+            [res.returns[r]["fields"][name] for r in range(mesh.size)],
+            single_level=(name == "ps"),
+        )
+        for name in ("u", "v", "pt", "ps", "q")
+    }
+
+
+def agcm_3d_vs_serial_pair() -> ImplementationPair:
+    """The AGCM-3DLF pairing: 3-D slabs must match the serial driver
+    bit for bit.
+
+    Pinned to the fft backends (indices 2-3 of FILTER_BACKENDS): their
+    distributed filtering is bit-identical to the serial path, so the
+    whole 3-D trajectory — pillar transposes, column physics, the
+    full-K surface-pressure closure, transposed vertical diffusion —
+    must reproduce the serial fields at EXACT (zero) tolerance.  The
+    convolution backends reassociate the convolution sum (~1e-11
+    drift) and are covered by the loose 2-D pairing above.
+    """
+    return ImplementationPair(
+        name="agcm-3d-vs-serial",
+        space=ParamSpace(
+            {
+                "nlat": (12, 18),
+                "nlon": (16, 28),
+                "nlayers": (2, 6),
+                "mi": (1, 3),
+                "mj": (1, 3),
+                "mk": (1, 4),
+                "nsteps": (3, 6),
+                "backend": (2, len(FILTER_BACKENDS) - 1),
+            },
+            constraint=lambda c: (
+                c["nlat"] >= 4 * c["mi"]
+                and c["nlon"] >= 4 * c["mj"]
+                and c["nlayers"] >= c["mk"]
+            ),
+        ),
+        reference=_agcm_reference,
+        candidate=_agcm3d_candidate,
+        atol=tolerances.EXACT,
+        rtol=0.0,
+        description="serial driver vs 3-D (AGCM-3DLF) rank program, "
+                    "bit-exact",
     )
 
 
@@ -1097,6 +1155,7 @@ def default_pairs() -> List[ImplementationPair]:
         filter_convolution_vs_fft_pair(),
         parallel_filter_vs_serial_pair(),
         agcm_serial_vs_parallel_pair(),
+        agcm_3d_vs_serial_pair(),
         engine_batched_vs_loop_pair(),
         agcm_fastpath_vs_instrumented_pair(),
         faulty_collectives_pair(),

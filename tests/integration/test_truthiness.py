@@ -1,0 +1,69 @@
+"""Falsy-``__len__`` regression tests: empty is not absent.
+
+Several containers here define ``__len__`` (``ResultCache``,
+``MetricsRegistry``, the scheduler queues), which makes their *empty*
+instances falsy.  Code that gates "is this component attached?" on bare
+truthiness (``if self.cache:``) then silently treats an attached-but-
+empty component as missing.  These tests pin the two spots that bug
+actually bit — the gateway status endpoint and the fleet worker
+command line — plus the falsiness contract itself, so the distinction
+between "empty" and "absent" stays load-bearing.
+"""
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.fleet.harness import LocalFleet
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.config import ServeConfig
+from repro.serve.gateway import Gateway
+
+
+def test_empty_result_cache_is_falsy_but_present(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    # The contract the bugs relied on: empty containers are falsy.
+    assert len(cache) == 0
+    assert not cache
+    # So presence checks must use `is not None`, never truthiness.
+    assert cache is not None
+
+
+def test_empty_metrics_registry_is_falsy():
+    reg = MetricsRegistry()
+    assert len(reg) == 0
+    assert not reg
+
+
+def test_gateway_status_reports_attached_empty_cache(tmp_path):
+    gw = Gateway(ServeConfig(cache_dir=str(tmp_path), spans=True))
+    assert gw.cache is not None and len(gw.cache) == 0
+    status = gw.status()
+    # An attached-but-empty cache reports 0 entries *because it is
+    # empty*, and the observer (zero spans so far) stays counted; the
+    # old truthiness gate took the `else 0` arm for both, which happens
+    # to coincide here — the real assertion is that the live objects
+    # are consulted at all, checked via a non-empty cache below.
+    assert status["cache_entries"] == 0
+    assert status["spans_recorded"] == 0
+
+
+def test_gateway_status_counts_cache_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("deadbeef" * 8, {"x": 1})
+    gw = Gateway(ServeConfig(cache_dir=str(tmp_path)))
+    assert gw.status()["cache_entries"] == 1
+
+
+@pytest.mark.parametrize("falsy_dir", [""])
+def test_fleet_forwards_falsy_cache_dir(falsy_dir):
+    fleet = LocalFleet(nworkers=1, worker_cache_dirs=[falsy_dir])
+    cmd = fleet._worker_cmd(0)
+    # A set-but-falsy per-worker entry must still be forwarded: only
+    # None means "no cache dir for this worker".
+    assert "--cache-dir" in cmd
+    assert cmd[cmd.index("--cache-dir") + 1] == falsy_dir
+
+
+def test_fleet_omits_unset_cache_dir():
+    fleet = LocalFleet(nworkers=1)
+    assert "--cache-dir" not in fleet._worker_cmd(0)

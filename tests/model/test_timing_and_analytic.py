@@ -35,9 +35,10 @@ class TestComponentBreakdown:
 
     def test_components_positive(self, breakdown):
         for key, value in breakdown.as_dict().items():
-            if key in ("retry", "checkpoint", "guard"):
+            if key in ("retry", "checkpoint", "guard", "transpose"):
                 # fault/checkpoint/guard phases only appear when injected
-                # or supervised — an unguarded run must charge nothing
+                # or supervised, and pillar transposes only on a 3-D
+                # mesh — a plain unguarded 2-D run must charge nothing
                 assert value == 0.0, key
             else:
                 assert value > 0, key

@@ -60,6 +60,28 @@ class TestCostFunctions:
         expected = (5 + PARAGON.vector_startup) / 5
         assert short / PARAGON.compute_time(1e6) == pytest.approx(expected)
 
+    def test_vector_startup_charged_time_pinned(self):
+        # Pin the absolute charged time for a known (L, startup, flops)
+        # triple, asserting the docstring's two equivalent statements of
+        # the model really are the same number: the effective rate drops
+        # by L / (L + s), i.e. the compute-bound time grows by
+        # (L + s) / L.  With L == s the charge is exactly double.
+        m = GENERIC.with_overrides(vector_startup=8.0)
+        flops = 1e6
+        base = flops / m.flop_rate
+        assert m.compute_time(flops, inner_length=8) == pytest.approx(
+            2.0 * base
+        )
+        # General triple: L=16, s=8 -> factor 24/16 = 1.5.
+        assert m.compute_time(flops, inner_length=16) == pytest.approx(
+            base * (16 + 8) / 16
+        )
+        # The startup penalty never inflates the memory-bandwidth bound.
+        mem = m.mem_bandwidth  # 1 second of streaming
+        assert m.compute_time(
+            flops=1.0, mem_bytes=mem, inner_length=2
+        ) == pytest.approx(1.0)
+
     def test_vector_startup_zero_on_generic(self):
         assert GENERIC.compute_time(1e6, inner_length=2) == pytest.approx(
             GENERIC.compute_time(1e6)
